@@ -1,0 +1,67 @@
+"""Ablation: the §5 longest-list selection rule vs random selection.
+
+The paper's local policy — "have a node choose as its representative
+the node that can represent the larger number of nodes in its
+neighborhood" — concentrates members on few representatives.  This
+ablation replaces it with a uniformly random choice among the offers
+and measures the resulting snapshot size: without consolidation the
+snapshot needs noticeably more representatives for the same threshold.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from conftest import repetitions, run_once
+
+from repro.core.runtime import SnapshotRuntime
+from repro.experiments.harness import (
+    NetworkSetup,
+    build_runtime,
+    random_walk_dataset,
+)
+from repro.experiments.reporting import format_rows
+
+
+def snapshot_size(selection_policy: str, n_classes: int, seed: int) -> int:
+    setup = NetworkSetup(n_nodes=100)
+    dataset = random_walk_dataset(setup, n_classes, seed)
+    config = setup.protocol_config(selection_policy=selection_policy)
+    runtime = build_runtime(setup, dataset, seed, config=config)
+    runtime.train(duration=setup.train_duration)
+    runtime.advance_to(setup.election_time)
+    return runtime.run_election().size
+
+
+def test_ablation_selection_policy(benchmark, report):
+    reps = repetitions()
+
+    def run() -> dict[str, dict[int, float]]:
+        results: dict[str, dict[int, float]] = {}
+        for policy in ("longest-list", "random"):
+            results[policy] = {}
+            for n_classes in (5, 10):
+                sizes = [
+                    snapshot_size(policy, n_classes, 7_000 + n_classes * 100 + i)
+                    for i in range(reps)
+                ]
+                results[policy][n_classes] = statistics.fmean(sizes)
+        return results
+
+    results = run_once(benchmark, run)
+    rows = [
+        (k, f"{results['longest-list'][k]:.1f}", f"{results['random'][k]:.1f}")
+        for k in (5, 10)
+    ]
+    report(
+        "ablation_election",
+        format_rows(
+            ("K", "longest-list n1", "random n1"),
+            rows,
+            title="Ablation — §5 selection rule vs random representative choice",
+        ),
+    )
+    for n_classes in (5, 10):
+        assert (
+            results["longest-list"][n_classes] <= results["random"][n_classes]
+        ), "the longest-list rule should never need more representatives"

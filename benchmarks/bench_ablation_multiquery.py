@@ -1,0 +1,58 @@
+"""Ablation: shared multi-resolution snapshots vs per-query elections (§3.1).
+
+"Given queries Q1, Q2, ... with error thresholds T1 <= T2 <= ... we can
+obtain a single set of representatives for the most tight threshold T1
+and use them for answering all other queries."
+
+This ablation builds a multi-resolution family and compares, for a
+coarse query, (a) answering from the reusable fine snapshot (no new
+election) vs (b) electing a dedicated snapshot at the query's own
+threshold: the dedicated snapshot involves fewer responders, but costs
+a full election round (~4 messages per node); the shared snapshot is
+free.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.multi_resolution import MultiResolutionSnapshot
+from repro.experiments.harness import NetworkSetup, build_runtime, random_walk_dataset
+from repro.experiments.reporting import format_rows
+
+
+def test_ablation_multiquery_snapshot_reuse(benchmark, report):
+    setup = NetworkSetup(n_nodes=100)
+    thresholds = (1.0, 10.0, 100.0)
+
+    def run():
+        dataset = random_walk_dataset(setup, 10, seed=77)
+        runtime = build_runtime(setup, dataset, seed=77)
+        runtime.train(duration=setup.train_duration)
+        runtime.advance_to(setup.election_time)
+        multi = MultiResolutionSnapshot(runtime, thresholds)
+        runtime.stats.checkpoint()
+        views = multi.build()
+        election_msgs = runtime.stats.window_protocol_per_node(setup.n_nodes)
+        sizes = {t: view.size for t, view in views.items()}
+        reuse = multi.view_for_threshold(50.0)
+        return sizes, reuse.size if reuse else None, election_msgs
+
+    sizes, reused_size, election_msgs = run_once(benchmark, run)
+    rows = [(f"T={t:g}", size) for t, size in sorted(sizes.items())]
+    rows.append(("reused for T=50 query", reused_size))
+    rows.append(("election msgs/node (3 rounds)", f"{election_msgs:.1f}"))
+    report(
+        "ablation_multiquery",
+        format_rows(
+            ("snapshot", "n1"),
+            rows,
+            title="Ablation — §3.1 multi-resolution snapshots and reuse rule",
+        ),
+    )
+    ordered = [sizes[t] for t in thresholds]
+    assert ordered[0] >= ordered[1] >= ordered[2]
+    # the T=50 query reuses the T=10 snapshot (coarsest usable)
+    assert reused_size == sizes[10.0]
+    # each of the three election rounds respects the Table 2 bound
+    assert election_msgs <= 3 * 5

@@ -1,0 +1,63 @@
+"""Ablation: routing aggregation trees through representatives (§3.1).
+
+"The probability of this happening [a represented node routing for a
+query] can be reduced by having the routing protocol favor paths
+through representative nodes. ... This will result in further reduction
+in the number of sensor nodes used during snapshot queries than those
+presented in Table 3."
+
+This ablation re-runs a Table 3 column with and without the preference
+and reports the additional savings.
+"""
+
+from __future__ import annotations
+
+from conftest import is_paper_scale, run_once
+
+from repro.experiments.reporting import format_rows
+from repro.experiments.savings import table3_savings
+
+
+def test_ablation_representative_routing(benchmark, report):
+    n_queries = 200 if is_paper_scale() else 100
+    areas = (0.1, 0.5)
+
+    def run():
+        vanilla = table3_savings(
+            areas=areas, ranges=(0.2,), classes=(1,), n_queries=n_queries
+        )
+        preferred = table3_savings(
+            areas=areas,
+            ranges=(0.2,),
+            classes=(1,),
+            n_queries=n_queries,
+            prefer_representative_routing=True,
+        )
+        return vanilla, preferred
+
+    vanilla, preferred = run_once(benchmark, run)
+    rows = []
+    for area in areas:
+        rows.append(
+            (
+                f"W^2 = {area:g}",
+                f"{vanilla.cell(area, 0.2, 1).percent:.0f}%",
+                f"{preferred.cell(area, 0.2, 1).percent:.0f}%",
+            )
+        )
+    report(
+        "ablation_routing",
+        format_rows(
+            ("query area", "vanilla routing", "representative-preferring"),
+            rows,
+            title="Ablation — §3.1 representative-preferring routing "
+            "(K=1, range 0.2, multi-hop)",
+        ),
+    )
+    # the preference must not hurt, and should help somewhere
+    gains = [
+        preferred.cell(area, 0.2, 1).savings - vanilla.cell(area, 0.2, 1).savings
+        for area in areas
+    ]
+    assert all(gain >= -0.05 for gain in gains)
+    assert max(gains) > -0.05

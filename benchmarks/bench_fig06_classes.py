@@ -1,0 +1,31 @@
+"""Figure 6: snapshot size vs number of correlation classes K.
+
+Paper series (N=100, T=1, 2 KB cache, full range, no loss): K=1 elects
+a single representative; past K≈15 the size plateaus around 17–25
+instead of tracking K.
+"""
+
+from __future__ import annotations
+
+from conftest import is_paper_scale, repetitions, run_once
+
+from repro.experiments.reporting import format_series
+from repro.experiments.sensitivity import DEFAULT_CLASS_SWEEP, figure6_vary_classes
+
+QUICK_SWEEP = (1, 5, 10, 20, 50, 100)
+
+
+def test_fig06_snapshot_size_vs_classes(benchmark, report):
+    classes = DEFAULT_CLASS_SWEEP if is_paper_scale() else QUICK_SWEEP
+
+    series = run_once(
+        benchmark,
+        lambda: figure6_vary_classes(classes=classes, repetitions=repetitions()),
+    )
+    report(
+        "fig06_classes",
+        format_series(series, "Figure 6 — snapshot size n1 vs number of classes K"),
+    )
+    # the paper's two anchor claims
+    assert series.point_at(1).mean <= 2.0
+    assert series.point_at(100).mean < 50.0

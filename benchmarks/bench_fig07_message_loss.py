@@ -1,0 +1,32 @@
+"""Figure 7: snapshot size vs message-loss probability (K=1).
+
+Paper series: one representative without loss, ~4 at 30% loss,
+effectiveness retained up to ~80% loss, then a sharp rise toward N as
+almost nothing is delivered.
+"""
+
+from __future__ import annotations
+
+from conftest import is_paper_scale, repetitions, run_once
+
+from repro.experiments.reporting import format_series
+from repro.experiments.sensitivity import DEFAULT_LOSS_SWEEP, figure7_vary_message_loss
+
+QUICK_SWEEP = (0.0, 0.1, 0.3, 0.5, 0.8, 0.95)
+
+
+def test_fig07_snapshot_size_vs_loss(benchmark, report):
+    losses = DEFAULT_LOSS_SWEEP if is_paper_scale() else QUICK_SWEEP
+
+    series = run_once(
+        benchmark,
+        lambda: figure7_vary_message_loss(losses=losses, repetitions=repetitions()),
+    )
+    report(
+        "fig07_message_loss",
+        format_series(series, "Figure 7 — snapshot size n1 vs message loss P_loss (K=1)"),
+    )
+    means = series.means
+    assert means[0] <= 2.0
+    assert all(a <= b + 2.0 for a, b in zip(means, means[1:]))  # ~monotone
+    assert series.point_at(0.95).mean > 80.0

@@ -1,0 +1,36 @@
+"""Figure 8: snapshot size vs cache budget — model-aware vs round-robin.
+
+Paper series (K=10): indistinguishable below ~500 bytes, the
+model-aware manager roughly halves the snapshot around 1,100 bytes, and
+the curves reconverge above ~2.5 KB.
+"""
+
+from __future__ import annotations
+
+from conftest import is_paper_scale, repetitions, run_once
+
+from repro.experiments.reporting import format_multi_series
+from repro.experiments.sensitivity import DEFAULT_CACHE_SWEEP, figure8_vary_cache_size
+
+QUICK_SWEEP = (200, 400, 1100, 2048, 4096)
+
+
+def test_fig08_cache_policies(benchmark, report):
+    sizes = DEFAULT_CACHE_SWEEP if is_paper_scale() else QUICK_SWEEP
+
+    results = run_once(
+        benchmark,
+        lambda: figure8_vary_cache_size(cache_sizes=sizes, repetitions=repetitions()),
+    )
+    report(
+        "fig08_cache_size",
+        format_multi_series(
+            results,
+            "cache bytes",
+            "Figure 8 — snapshot size n1 vs cache budget (K=10)",
+        ),
+    )
+    aware = results["model-aware"]
+    robin = results["round-robin"]
+    # the mid-cache gap is the paper's headline
+    assert aware.point_at(1100).mean < robin.point_at(1100).mean

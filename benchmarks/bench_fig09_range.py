@@ -1,0 +1,47 @@
+"""Figure 9: snapshot size vs transmission range, for several K.
+
+Paper series: every line flattens once the range exceeds ~0.7
+(= sqrt(0.5), the distance from which a central node hears the entire
+unit square); short ranges force extra representatives.
+"""
+
+from __future__ import annotations
+
+from conftest import is_paper_scale, repetitions, run_once
+
+from repro.experiments.reporting import format_multi_series
+from repro.experiments.sensitivity import (
+    DEFAULT_RANGE_SWEEP,
+    figure9_vary_transmission_range,
+)
+
+QUICK_RANGES = (0.2, 0.5, 0.7, 1.0, 1.4)
+QUICK_CLASSES = (1, 10)
+PAPER_CLASSES = (1, 5, 10, 20)
+
+
+def test_fig09_snapshot_size_vs_range(benchmark, report):
+    ranges = DEFAULT_RANGE_SWEEP if is_paper_scale() else QUICK_RANGES
+    classes = PAPER_CLASSES if is_paper_scale() else QUICK_CLASSES
+
+    results = run_once(
+        benchmark,
+        lambda: figure9_vary_transmission_range(
+            ranges=ranges, classes=classes, repetitions=repetitions()
+        ),
+    )
+    report(
+        "fig09_range",
+        format_multi_series(
+            {f"K={k}": series for k, series in results.items()},
+            "transmission range",
+            "Figure 9 — snapshot size n1 vs transmission range",
+        ),
+    )
+    for series in results.values():
+        # flat past 0.7: the 0.7 and max-range points are close
+        knee = series.point_at(0.7).mean
+        full = series.points[-1].mean
+        assert abs(knee - full) <= max(4.0, 0.5 * knee)
+        # short range needs at least as many representatives
+        assert series.points[0].mean >= full - 2.0

@@ -1,0 +1,51 @@
+"""Figure 10: network coverage over time — regular vs snapshot queries.
+
+Paper setup: K=T=1, range 0.7, batteries worth 500 transmissions, cache
+maintenance charged at a tenth of a transmission, a stream of random
+spatial queries of area 0.1.  Regular execution holds perfect coverage
+until mid-run, then collapses as the uniformly drained network dies en
+masse; snapshot execution declines gradually (representatives drain
+faster but hand off / are replaced) and accumulates a larger area under
+the coverage curve.
+"""
+
+from __future__ import annotations
+
+from conftest import is_paper_scale, run_once
+
+from repro.experiments.reporting import format_rows
+from repro.experiments.savings import figure10_lifetime
+
+
+def test_fig10_lifetime_coverage(benchmark, report):
+    n_queries = 10_000 if is_paper_scale() else 6_000
+
+    result = run_once(benchmark, lambda: figure10_lifetime(n_queries=n_queries))
+
+    bucket = max(1, n_queries // 10)
+    rows = []
+    for index in range(0, n_queries, bucket):
+        rows.append(
+            (
+                f"{index}-{index + bucket}",
+                f"{sum(result.regular.samples[index:index + bucket]) / bucket:.2f}",
+                f"{sum(result.snapshot.samples[index:index + bucket]) / bucket:.2f}",
+            )
+        )
+    rows.append(("AUC", f"{result.regular.area:.0f}", f"{result.snapshot.area:.0f}"))
+    report(
+        "fig10_lifetime",
+        format_rows(
+            ("queries", "regular coverage", "snapshot coverage"),
+            rows,
+            title="Figure 10 — network coverage over time (K=T=1, range 0.7)",
+        ),
+    )
+    # who wins: the area under the snapshot curve is larger
+    assert result.area_gain > 1.0
+    # regular holds early then collapses
+    early = result.regular.samples[: n_queries // 8]
+    assert sum(early) / len(early) > 0.9
+    late = result.regular.samples[-n_queries // 8 :]
+    late_snapshot = result.snapshot.samples[-n_queries // 8 :]
+    assert sum(late) / len(late) < 0.5

@@ -1,0 +1,37 @@
+"""Figure 11: snapshot size vs error threshold T on weather data.
+
+Paper series (100 wind-speed series, sse metric, full range, 2 KB
+cache): ~14 representatives at T=0.1 falling rapidly to ~1.5 at T=10 —
+even the tightest threshold keeps only 14% of the network awake.
+"""
+
+from __future__ import annotations
+
+from conftest import is_paper_scale, repetitions, run_once
+
+from repro.experiments.reporting import format_series
+from repro.experiments.weather_experiments import (
+    DEFAULT_THRESHOLD_SWEEP,
+    figure11_vary_threshold,
+)
+
+QUICK_SWEEP = (0.1, 0.5, 1.0, 5.0, 10.0)
+
+
+def test_fig11_snapshot_size_vs_threshold(benchmark, report):
+    thresholds = DEFAULT_THRESHOLD_SWEEP if is_paper_scale() else QUICK_SWEEP
+
+    series = run_once(
+        benchmark,
+        lambda: figure11_vary_threshold(
+            thresholds=thresholds, repetitions=repetitions()
+        ),
+    )
+    report(
+        "fig11_threshold",
+        format_series(series, "Figure 11 — snapshot size n1 vs error threshold T"),
+    )
+    means = series.means
+    assert all(a >= b - 2.0 for a, b in zip(means, means[1:]))  # ~decreasing
+    assert series.point_at(10.0).mean <= 10.0  # a handful at T=10
+    assert series.point_at(0.1).mean <= 50.0   # still a minority at T=0.1

@@ -1,0 +1,38 @@
+"""Figure 12: average sse of the snapshot's estimates vs the threshold T.
+
+Paper series: the realized approximation error of the representatives'
+estimates stays well below the threshold used for the election, at
+every T.
+"""
+
+from __future__ import annotations
+
+from conftest import is_paper_scale, repetitions, run_once
+
+from repro.experiments.reporting import format_series
+from repro.experiments.weather_experiments import (
+    DEFAULT_THRESHOLD_SWEEP,
+    figure12_estimation_error,
+)
+
+QUICK_SWEEP = (0.1, 0.5, 1.0, 5.0, 10.0)
+
+
+def test_fig12_estimate_error_vs_threshold(benchmark, report):
+    thresholds = DEFAULT_THRESHOLD_SWEEP if is_paper_scale() else QUICK_SWEEP
+
+    series = run_once(
+        benchmark,
+        lambda: figure12_estimation_error(
+            thresholds=thresholds, repetitions=repetitions()
+        ),
+    )
+    report(
+        "fig12_sse",
+        format_series(
+            series, "Figure 12 — average sse of snapshot estimates vs threshold T"
+        ),
+    )
+    # the paper's claim: realized error is well below the threshold
+    for point in series.points:
+        assert point.mean < point.x

@@ -1,0 +1,47 @@
+"""Figure 13: spurious representatives under message loss.
+
+Paper series (weather data, T=0.1, transmission range 0.2): spurious
+representatives — nodes still believing they represent someone who has
+elected a different representative, the product of lost Rule-2 recalls
+— are few at every loss rate and actually *decrease* at extreme loss,
+because most invitations are lost and Rule-2 rarely executes at all.
+"""
+
+from __future__ import annotations
+
+from conftest import is_paper_scale, repetitions, run_once
+
+from repro.experiments.reporting import format_multi_series
+from repro.experiments.weather_experiments import figure13_spurious_representatives
+
+QUICK_SWEEP = (0.0, 0.1, 0.3, 0.5, 0.7, 0.95)
+PAPER_SWEEP = (0.0, 0.1, 0.2, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95)
+
+
+def test_fig13_spurious_representatives(benchmark, report):
+    losses = PAPER_SWEEP if is_paper_scale() else QUICK_SWEEP
+
+    results = run_once(
+        benchmark,
+        lambda: figure13_spurious_representatives(
+            losses=losses, repetitions=repetitions()
+        ),
+    )
+    report(
+        "fig13_spurious",
+        format_multi_series(
+            results,
+            "P_loss",
+            "Figure 13 — spurious vs total representatives under message loss "
+            "(T=0.1, range 0.2)",
+        ),
+    )
+    spurious = results["spurious"]
+    total = results["total"]
+    assert spurious.point_at(0.0).mean == 0.0
+    for s_point, t_point in zip(spurious.points, total.points):
+        assert s_point.mean <= max(5.0, 0.2 * t_point.mean)
+    # extreme loss: fewer Rule-2 recalls to lose
+    assert spurious.point_at(0.95).mean <= max(
+        point.mean for point in spurious.points
+    )

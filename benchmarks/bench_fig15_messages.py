@@ -1,0 +1,44 @@
+"""Figure 15: messages per node during snapshot maintenance.
+
+Paper series (same long run as Figure 14): the average number of
+protocol messages per node per maintenance update is about 4.5 at
+transmission range 0.7 and about 2 at range 0.2 — more nodes answer an
+invitation at the longer range — both well below the §5.1 worst case of
+six messages.
+"""
+
+from __future__ import annotations
+
+from conftest import is_paper_scale, run_once
+
+from repro.experiments.reporting import format_rows
+from repro.experiments.weather_experiments import figure15_messages_per_update
+
+
+def test_fig15_messages_per_update(benchmark, report):
+    length = 5_000 if is_paper_scale() else 1_500
+
+    runs = run_once(
+        benchmark,
+        lambda: figure15_messages_per_update(series_length=length),
+    )
+    run02, run07 = runs[0.2], runs[0.7]
+    rows = [
+        (index + 1, f"{m02:.2f}", f"{m07:.2f}")
+        for index, (m02, m07) in enumerate(
+            zip(run02.messages_per_node, run07.messages_per_node)
+        )
+    ]
+    rows.append(("mean", f"{run02.mean_messages:.2f}", f"{run07.mean_messages:.2f}"))
+    report(
+        "fig15_messages",
+        format_rows(
+            ("update", "msgs/node (range 0.2)", "msgs/node (range 0.7)"),
+            rows,
+            title="Figure 15 — protocol messages per node per maintenance update",
+        ),
+    )
+    # the §5.1 bound and the range ordering
+    assert 0.0 < run02.mean_messages <= 6.0
+    assert 0.0 < run07.mean_messages <= 6.0
+    assert run07.mean_messages > run02.mean_messages

@@ -1,0 +1,45 @@
+"""Table 3: reduction in nodes participating in spatial snapshot queries.
+
+Paper grid (200 random square aggregate queries per cell, T=1):
+
+                    K=1             K=100
+    Query range   0.2   0.7       0.2   0.7
+    W^2 = 0.01    11%   29%        3%    7%
+    W^2 = 0.1     38%   77%       16%   24%
+    W^2 = 0.5     52%   91%       23%   49%
+
+Savings grow with the query area and the transmission range, and shrink
+with K; the best cell saves about 90% of the participating nodes.
+"""
+
+from __future__ import annotations
+
+from conftest import is_paper_scale, run_once
+
+from repro.experiments.reporting import format_table3
+from repro.experiments.savings import table3_savings
+
+
+def test_table3_participation_savings(benchmark, report):
+    n_queries = 200 if is_paper_scale() else 100
+
+    result = run_once(benchmark, lambda: table3_savings(n_queries=n_queries))
+    report(
+        "table3_savings",
+        format_table3(
+            result,
+            "Table 3 — reduction in nodes participating in a spatial snapshot query",
+        ),
+    )
+    # directional claims
+    for reach in (0.2, 0.7):
+        for k in (1, 100):
+            assert (
+                result.cell(0.5, reach, k).savings
+                > result.cell(0.01, reach, k).savings
+            )
+    for k in (1, 100):
+        assert result.cell(0.5, 0.7, k).savings > result.cell(0.5, 0.2, k).savings
+    assert result.cell(0.5, 0.7, 1).savings > result.cell(0.5, 0.7, 100).savings
+    # headline magnitude: the best cell saves the vast majority of nodes
+    assert result.cell(0.5, 0.7, 1).savings > 0.6

@@ -1,0 +1,54 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one table or figure of the paper and prints
+(and saves under ``benchmarks/results/``) the same rows/series the
+paper reports.  Two scales are supported via the ``REPRO_BENCH_SCALE``
+environment variable:
+
+* ``quick`` (default) — trimmed sweeps, 2 repetitions; the whole suite
+  finishes in roughly a quarter of an hour;
+* ``paper`` — the full sweeps and ten repetitions of §6.
+
+Benchmarks execute exactly once (``pedantic(rounds=1, iterations=1)``):
+the measured quantity is the experiment's wall time, and the scientific
+output is the printed/saved table.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: quick | paper
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+def repetitions() -> int:
+    """Experiment repetitions at the current scale (paper: 10)."""
+    return 10 if SCALE == "paper" else 2
+
+
+def is_paper_scale() -> bool:
+    """Whether the full §6 sweeps are requested."""
+    return SCALE == "paper"
+
+
+@pytest.fixture
+def report():
+    """Print a result block and persist it under ``benchmarks/results/``."""
+
+    def save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return save
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

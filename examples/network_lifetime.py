@@ -1,0 +1,56 @@
+"""Network lifetime: how snapshot queries stretch a battery budget.
+
+A condensed version of the paper's Figure 10 experiment: two identical
+networks with finite batteries answer the same stream of random spatial
+queries — one regularly (every matching node responds), one through the
+snapshot (representatives answer for their members, resigning before
+their battery runs out).  The example prints the coverage curves and
+the area under each.
+
+Run with::
+
+    python examples/network_lifetime.py        (a few minutes)
+    python examples/network_lifetime.py quick  (a shorter horizon)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import figure10_lifetime
+
+
+def render_bar(value: float, width: int = 40) -> str:
+    filled = int(round(value * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def main() -> None:
+    quick = len(sys.argv) > 1 and sys.argv[1] == "quick"
+    n_queries = 3_000 if quick else 8_000
+
+    print(f"running {n_queries} random spatial queries against two networks...")
+    result = figure10_lifetime(n_queries=n_queries, seed=7)
+
+    bucket = n_queries // 12
+    print()
+    print(f"{'queries':>13}  {'regular':>7} {'':40}  {'snapshot':>8}")
+    for index in range(0, n_queries, bucket):
+        regular = sum(result.regular.samples[index : index + bucket]) / bucket
+        snapshot = sum(result.snapshot.samples[index : index + bucket]) / bucket
+        print(
+            f"{index:>6}-{index + bucket:<6} {regular:>7.2f} "
+            f"{render_bar(snapshot)}  {snapshot:>8.2f}"
+        )
+    print()
+    print(f"area under coverage curve — regular : {result.regular.area:.0f}")
+    print(f"area under coverage curve — snapshot: {result.snapshot.area:.0f}")
+    print(f"snapshot/regular lifetime gain      : {result.area_gain:.2f}x")
+    print()
+    print("regular execution drains the network roughly uniformly and")
+    print("collapses mid-run; the snapshot drains representatives faster")
+    print("but hands the role off before they die, degrading gracefully.")
+
+
+if __name__ == "__main__":
+    main()

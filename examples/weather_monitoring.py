@@ -1,0 +1,88 @@
+"""Weather monitoring: multi-resolution snapshots over wind-speed data.
+
+The paper's motivating deployment (§1) collects meteorological data
+over a large terrain.  This example runs the §6.3 scenario on the
+synthetic wind-speed workload: it trains a network, sweeps the error
+threshold, and shows the precision/energy dial the application gets to
+turn — a tighter threshold keeps more sensors awake but answers more
+precisely, and the realized error always stays well below the
+threshold (Figures 11 and 12).
+
+Run with::
+
+    python examples/weather_monitoring.py
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import numpy as np
+
+from repro import (
+    NodeMode,
+    ProtocolConfig,
+    SnapshotRuntime,
+    WeatherConfig,
+    generate_weather,
+    uniform_random_topology,
+)
+from repro.query import Aggregate, Query, QueryExecutor, Rect
+
+
+def build_network(threshold: float, seed: int = 11) -> SnapshotRuntime:
+    rng = np.random.default_rng(seed)
+    # As in §6.3, the election runs after the last (100th) measurement,
+    # so the estimates are evaluated against the values the
+    # representability test saw.
+    dataset, __ = generate_weather(WeatherConfig(n_series=100, length=100), rng)
+    topology = uniform_random_topology(100, transmission_range=1.5, rng=rng)
+    network = SnapshotRuntime(
+        topology, dataset, ProtocolConfig(threshold=threshold), seed=seed
+    )
+    network.train(duration=10)
+    network.advance_to(100)
+    return network
+
+
+def estimate_error(network: SnapshotRuntime) -> float:
+    """Mean squared error of all representative estimates right now."""
+    errors = []
+    for node in network.nodes.values():
+        if node.mode is not NodeMode.ACTIVE:
+            continue
+        for member in node.represented:
+            estimate = node.estimate_for(member)
+            if estimate is not None:
+                errors.append((network.value_of(member) - estimate) ** 2)
+    return statistics.fmean(errors) if errors else 0.0
+
+
+def main() -> None:
+    print(f"{'T':>6}  {'snapshot':>8}  {'est. sse':>9}  {'avg wind (est)':>14}")
+    for threshold in (0.1, 0.5, 1.0, 5.0, 10.0):
+        network = build_network(threshold)
+        view = network.run_election()
+        sse = estimate_error(network)
+
+        # an aggregate snapshot query over the whole field
+        executor = QueryExecutor(network)
+        result = executor.execute(
+            Query(
+                aggregate=Aggregate.AVG,
+                region=Rect(0.0, 0.0, 1.0, 1.0),
+                use_snapshot=True,
+            ),
+            sink=0,
+        )
+        print(
+            f"{threshold:>6.1f}  {view.size:>8d}  {sse:>9.4f}  "
+            f"{result.aggregate_value:>14.2f}"
+        )
+    print()
+    print("tighter thresholds keep more sensors awake; the realized sse")
+    print("stays far below T at every resolution (Figures 11 and 12).")
+
+
+if __name__ == "__main__":
+    main()

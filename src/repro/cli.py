@@ -1,0 +1,268 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Gives the reproduction a front door without writing any code:
+
+* ``demo`` — the quickstart pipeline (deploy, train, elect, query);
+* ``experiment <id>`` — regenerate one of the paper's tables/figures
+  (``fig6`` .. ``fig15``, ``table3``) and print the paper-style report;
+* ``query "<sql>"`` — run one query against a freshly trained network
+  and show the plan, the participants and the answer.
+
+Examples::
+
+    python -m repro.cli demo --classes 4 --threshold 1.0
+    python -m repro.cli experiment fig6 --repetitions 2
+    python -m repro.cli query "SELECT AVG(value) FROM sensors USE SNAPSHOT"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import ProtocolConfig
+from repro.core.runtime import SnapshotRuntime
+from repro.data.random_walk import RandomWalkConfig, generate_random_walk
+from repro.experiments import (
+    figure6_vary_classes,
+    figure7_vary_message_loss,
+    figure8_vary_cache_size,
+    figure9_vary_transmission_range,
+    figure10_lifetime,
+    figure11_vary_threshold,
+    figure12_estimation_error,
+    figure13_spurious_representatives,
+    figure14_snapshot_size_over_time,
+    figure15_messages_per_update,
+    format_multi_series,
+    format_rows,
+    format_series,
+    format_table3,
+    table3_savings,
+)
+from repro.network.topology import uniform_random_topology
+from repro.query.executor import QueryExecutor
+from repro.query.formatting import format_query
+from repro.query.parser import parse_query
+from repro.query.planner import QueryPlanner
+
+__all__ = ["main", "build_parser"]
+
+
+def _build_network(
+    n_nodes: int, n_classes: int, threshold: float, transmission_range: float, seed: int
+) -> SnapshotRuntime:
+    rng = np.random.default_rng(seed)
+    dataset, __ = generate_random_walk(
+        RandomWalkConfig(n_nodes=n_nodes, n_classes=n_classes), rng
+    )
+    topology = uniform_random_topology(n_nodes, transmission_range, rng)
+    runtime = SnapshotRuntime(
+        topology, dataset, ProtocolConfig(threshold=threshold), seed=seed
+    )
+    runtime.train(duration=10)
+    runtime.advance_to(100)
+    return runtime
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    runtime = _build_network(
+        args.nodes, args.classes, args.threshold, args.range, args.seed
+    )
+    view = runtime.run_election()
+    print(f"network: {view.n_nodes} nodes, {args.classes} hidden classes, "
+          f"T={args.threshold}, range={args.range}")
+    print(f"snapshot: {view.size} representatives "
+          f"({100 * view.fraction():.0f}% of the network)")
+    print(f"max protocol messages by any node: "
+          f"{runtime.stats.max_protocol_messages_any_node()}")
+    for representative in view.representatives[:10]:
+        members = view.members_of(representative)
+        print(f"  node {representative:>3} answers for {len(members)} node(s)")
+    if view.size > 10:
+        print(f"  ... and {view.size - 10} more representatives")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    try:
+        query = parse_query(args.sql)
+    except ValueError as error:
+        print(f"syntax error: {error}", file=sys.stderr)
+        return 2
+    runtime = _build_network(
+        args.nodes, args.classes, args.threshold, args.range, args.seed
+    )
+    runtime.run_election()
+    if args.plan:
+        planner = QueryPlanner(runtime)
+        plan, result = planner.execute(query, sink=args.sink)
+        print(f"plan: {plan.reason}")
+        print(f"ran : {format_query(result.query)}")
+    else:
+        result = QueryExecutor(runtime).execute(query, sink=args.sink)
+    print(f"participants: {result.n_participants} "
+          f"({len(result.responders)} responders, {len(result.routers)} routers)")
+    if result.query.is_aggregate:
+        print(f"answer: {result.aggregate_value}")
+    else:
+        estimated = sum(1 for __, (___, est) in result.reports.items() if est)
+        print(f"answer: {len(result.reports)} measurements "
+              f"({estimated} estimated by representatives)")
+        for origin in sorted(result.reports)[:10]:
+            value, est = result.reports[origin]
+            marker = "~" if est else " "
+            print(f"  node {origin:>3}: {marker}{value:.3f}")
+        if len(result.reports) > 10:
+            print(f"  ... and {len(result.reports) - 10} more")
+    print(f"coverage: {100 * result.coverage():.0f}%")
+    return 0
+
+
+def _experiment_runners(
+    repetitions: int,
+) -> dict[str, Callable[[], str]]:
+    return {
+        "fig6": lambda: format_series(
+            figure6_vary_classes(repetitions=repetitions), "Figure 6"
+        ),
+        "fig7": lambda: format_series(
+            figure7_vary_message_loss(repetitions=repetitions), "Figure 7"
+        ),
+        "fig8": lambda: format_multi_series(
+            figure8_vary_cache_size(repetitions=repetitions), "cache bytes", "Figure 8"
+        ),
+        "fig9": lambda: format_multi_series(
+            {
+                f"K={k}": series
+                for k, series in figure9_vary_transmission_range(
+                    repetitions=repetitions
+                ).items()
+            },
+            "range",
+            "Figure 9",
+        ),
+        "table3": lambda: format_table3(table3_savings()),
+        "fig10": lambda: _format_lifetime(figure10_lifetime()),
+        "fig11": lambda: format_series(
+            figure11_vary_threshold(repetitions=repetitions), "Figure 11"
+        ),
+        "fig12": lambda: format_series(
+            figure12_estimation_error(repetitions=repetitions), "Figure 12"
+        ),
+        "fig13": lambda: format_multi_series(
+            figure13_spurious_representatives(repetitions=repetitions),
+            "P_loss",
+            "Figure 13",
+        ),
+        "fig14": lambda: _format_maintenance(
+            figure14_snapshot_size_over_time(), "snapshot size"
+        ),
+        "fig15": lambda: _format_maintenance(
+            figure15_messages_per_update(), "messages/node"
+        ),
+    }
+
+
+def _format_lifetime(result) -> str:
+    n = len(result.regular.samples)
+    bucket = max(1, n // 10)
+    rows = [
+        (
+            f"{i}-{i + bucket}",
+            f"{sum(result.regular.samples[i:i + bucket]) / bucket:.2f}",
+            f"{sum(result.snapshot.samples[i:i + bucket]) / bucket:.2f}",
+        )
+        for i in range(0, n, bucket)
+    ]
+    rows.append(("AUC", f"{result.regular.area:.0f}", f"{result.snapshot.area:.0f}"))
+    return format_rows(("queries", "regular", "snapshot"), rows, title="Figure 10")
+
+
+def _format_maintenance(runs, metric: str) -> str:
+    rows = [
+        (f"range {reach:g}", f"{run.mean_size:.1f}", f"{run.mean_messages:.2f}")
+        for reach, run in sorted(runs.items())
+    ]
+    return format_rows(
+        ("configuration", "mean snapshot size", "mean msgs/node"),
+        rows,
+        title=f"Figures 14/15 ({metric})",
+    )
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    runners = _experiment_runners(args.repetitions)
+    if args.id not in runners:
+        print(
+            f"unknown experiment {args.id!r}; choose from {sorted(runners)}",
+            file=sys.stderr,
+        )
+        return 2
+    print(runners[args.id]())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# argument parsing
+# ----------------------------------------------------------------------
+
+
+def _add_network_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=int, default=100, help="network size")
+    parser.add_argument("--classes", type=int, default=4, help="correlation classes")
+    parser.add_argument("--threshold", type=float, default=1.0, help="error threshold T")
+    parser.add_argument("--range", type=float, default=0.7, help="transmission range")
+    parser.add_argument("--seed", type=int, default=2005, help="random seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Snapshot Queries (ICDE 2005) reproduction CLI",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser("demo", help="deploy, train, elect, report")
+    _add_network_options(demo)
+    demo.set_defaults(handler=cmd_demo)
+
+    query = commands.add_parser("query", help="run one query against a fresh network")
+    query.add_argument("sql", help="query text, e.g. 'SELECT AVG(value) FROM sensors'")
+    query.add_argument("--sink", type=int, default=None, help="collecting node id")
+    query.add_argument(
+        "--plan", action="store_true",
+        help="let the energy-based planner choose the execution mode",
+    )
+    _add_network_options(query)
+    query.set_defaults(handler=cmd_query)
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate one of the paper's tables/figures"
+    )
+    experiment.add_argument(
+        "id", help="fig6..fig15 or table3 (see DESIGN.md for the index)"
+    )
+    experiment.add_argument(
+        "--repetitions", type=int, default=2, help="averaging repetitions"
+    )
+    experiment.set_defaults(handler=cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""The paper's primary contribution: snapshot election and maintenance.
+
+Implements §5's localized representative election (Table 2's phases and
+Figure 5's refinement rules), §5.1's maintenance (heartbeats,
+re-election, energy hand-off, LEACH-style rotation), §3's snapshot view
+with spurious-representative auditing, and the §3.1 multi-resolution /
+per-query-threshold extensions.
+"""
+
+from repro.core.config import ProtocolConfig
+from repro.core.election import ElectionCoordinator
+from repro.core.maintenance import MaintenanceManager
+from repro.core.multi_resolution import MultiResolutionSnapshot
+from repro.core.protocol import MemberInfo, ProtocolNode
+from repro.core.runtime import DEFAULT_CACHE_BYTES, SnapshotRuntime
+from repro.core.snapshot import SnapshotView, SpuriousAudit
+from repro.core.status import NodeMode
+
+__all__ = [
+    "DEFAULT_CACHE_BYTES",
+    "ElectionCoordinator",
+    "MaintenanceManager",
+    "MemberInfo",
+    "MultiResolutionSnapshot",
+    "NodeMode",
+    "ProtocolConfig",
+    "ProtocolNode",
+    "SnapshotRuntime",
+    "SnapshotView",
+    "SpuriousAudit",
+]

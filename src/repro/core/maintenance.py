@@ -1,0 +1,164 @@
+"""Snapshot maintenance scheduling (§5.1).
+
+Each maintenance round:
+
+* every PASSIVE node heartbeats its representative (which replies with
+  its estimate; a bad or missing reply triggers a localized
+  re-election);
+* every ACTIVE node that represents only itself broadcasts an
+  invitation, trying to fold itself under an existing representative;
+* representatives run the energy check (hand-off below the battery
+  threshold) and, optionally, the LEACH-style random rotation.
+
+Heartbeats are *staggered*: each node's periodic task starts with a
+random offset inside the first period, so concurrent invitations do not
+collide (two lone actives inviting at the same instant would refuse to
+adopt each other) and the radio load is spread — the same reason LEACH
+randomizes cluster-head self-election.
+
+The manager also keeps per-round message accounting for Figure 15: call
+``round_message_costs`` after a run to get the average number of
+protocol messages per node per maintenance round.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import ProtocolNode
+from repro.core.status import NodeMode
+from repro.network.stats import MessageStats
+from repro.simulation.engine import PeriodicTask, Simulator
+
+__all__ = ["MaintenanceManager"]
+
+
+class MaintenanceManager:
+    """Drives the periodic §5.1 maintenance over all protocol nodes."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        nodes: Mapping[int, ProtocolNode],
+        config: ProtocolConfig,
+        stats: MessageStats,
+        staggered: bool = True,
+    ) -> None:
+        self.simulator = simulator
+        self.nodes = nodes
+        self.config = config
+        self.stats = stats
+        self.staggered = staggered
+        self._tasks: list[PeriodicTask] = []
+        self._rng = simulator.random.stream("maintenance")
+        self._round_costs: list[float] = []
+        self._rounds = 0
+
+    @property
+    def running(self) -> bool:
+        """Whether maintenance tasks are armed."""
+        return any(not task.stopped for task in self._tasks)
+
+    @property
+    def rounds_completed(self) -> int:
+        """Number of maintenance rounds that have run."""
+        return self._rounds
+
+    def start(self) -> None:
+        """Arm the periodic maintenance tasks.
+
+        With ``staggered=True`` (default) each node acts at its own
+        random offset within every period; otherwise all nodes act
+        together each period (plus a small deterministic per-node
+        stagger to avoid simultaneous invitations).
+        """
+        if self.running:
+            raise RuntimeError("maintenance already started")
+        period = self.config.heartbeat_period
+        node_ids = sorted(self.nodes)
+        n = max(1, len(node_ids))
+        # Cluster each round's actions into a tight burst: heartbeats,
+        # timeouts and the resulting re-election invitations then all
+        # fall inside one offer-batching window, so every responder
+        # sends at most one combined CandidateList per round — the
+        # precondition for Figure 15's 2–4.5 messages/node per update.
+        window = min(1.0, period / 4)
+        for index, node_id in enumerate(node_ids):
+            if self.staggered:
+                offset = float(self._rng.uniform(0.0, window))
+            else:
+                offset = window * index / n
+            task = self.simulator.every(
+                period,
+                self._make_node_action(node_id),
+                label=f"maintenance:{node_id}",
+                first_delay=offset,
+            )
+            self._tasks.append(task)
+        # Round bookkeeping task: checkpoints message counters at each
+        # period boundary so Figure 15's per-update costs are exact.
+        self.stats.checkpoint()
+        self._tasks.append(
+            self.simulator.every(
+                period, self._close_round, label="maintenance:round", first_delay=period
+            )
+        )
+
+    def stop(self) -> None:
+        """Disarm all maintenance tasks."""
+        for task in self._tasks:
+            task.stop()
+        self._tasks.clear()
+
+    def _make_node_action(self, node_id: int):
+        def act() -> None:
+            node = self.nodes[node_id]
+            if not node.alive:
+                return
+            node.check_energy()
+            if self.config.member_expiry_periods > 0:
+                node.expire_stale_members(
+                    self.config.member_expiry_periods * self.config.heartbeat_period
+                )
+            if (
+                node.mode is NodeMode.ACTIVE
+                and node.represented
+                and self.config.rotation_probability > 0
+                and self._rng.random() < self.config.rotation_probability
+            ):
+                node.resign()
+                return
+            if node.mode is NodeMode.PASSIVE:
+                node.send_heartbeat()
+            elif node.mode is NodeMode.ACTIVE and not node.represented:
+                # Randomized so concurrent lone actives take turns
+                # inviting vs responding; otherwise a round where every
+                # lone node awaits offers leaves no one to answer.
+                if self._rng.random() < self.config.lone_invite_probability:
+                    node.lone_active_invite()
+
+        return act
+
+    def _close_round(self) -> None:
+        """Record this round's per-node protocol message cost (Fig. 15)."""
+        n_alive = sum(1 for node in self.nodes.values() if node.alive)
+        if n_alive > 0:
+            self._round_costs.append(
+                self.stats.window_protocol_per_node(n_alive)
+            )
+        self.stats.checkpoint()
+        self._rounds += 1
+        self.simulator.trace.emit(
+            self.simulator.now, "maintenance.round", index=self._rounds
+        )
+
+    def round_message_costs(self) -> list[float]:
+        """Protocol messages per node for each completed round."""
+        return list(self._round_costs)
+
+    def average_messages_per_node(self) -> float:
+        """Mean per-round protocol messages per node (Figure 15's y-axis)."""
+        if not self._round_costs:
+            return 0.0
+        return sum(self._round_costs) / len(self._round_costs)

@@ -1,0 +1,100 @@
+"""Multi-resolution snapshots and per-query thresholds (§1 and §3.1).
+
+The paper sketches two extensions implemented here:
+
+* **Multiple thresholds.**  "One can extend this technique and use
+  multiple threshold values.  Each set of representatives, compiled for
+  a value of T, is essentially a 'snapshot' of the network at a
+  different 'resolution'" (§1).  :class:`MultiResolutionSnapshot` runs
+  one election per threshold over the *same* trained network (models
+  are shared — "the data models ... will be shared among all running
+  queries", §3.1) and exposes the per-resolution views.
+
+* **Snapshot reuse across queries.**  "Given queries Q1, Q2, ... with
+  error thresholds T1 <= T2 <= ... we can obtain a single set of
+  representatives for the most tight threshold T1 and use them for
+  answering all other queries" (§3.1).  :meth:`view_for_threshold`
+  implements that rule: a query with threshold ``T`` is served by the
+  finest snapshot whose election threshold does not exceed ``T``; a
+  query tighter than every snapshot gets ``None`` (it needs its own
+  election).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.core.runtime import SnapshotRuntime
+from repro.core.snapshot import SnapshotView
+
+__all__ = ["MultiResolutionSnapshot"]
+
+
+class MultiResolutionSnapshot:
+    """A family of snapshots at increasing error thresholds.
+
+    Parameters
+    ----------
+    runtime:
+        A trained :class:`SnapshotRuntime`; its protocol configuration
+        supplies every parameter except the threshold.
+    thresholds:
+        The resolutions, strictly increasing and positive.
+    """
+
+    def __init__(self, runtime: SnapshotRuntime, thresholds: Sequence[float]) -> None:
+        if not thresholds:
+            raise ValueError("need at least one threshold")
+        ordered = list(thresholds)
+        if any(t <= 0 for t in ordered):
+            raise ValueError(f"thresholds must be positive, got {ordered}")
+        if any(b <= a for a, b in zip(ordered, ordered[1:])):
+            raise ValueError(f"thresholds must be strictly increasing, got {ordered}")
+        self.runtime = runtime
+        self.thresholds = tuple(ordered)
+        self._views: dict[float, SnapshotView] = {}
+
+    def build(self) -> dict[float, SnapshotView]:
+        """Run one election per threshold; returns ``threshold -> view``.
+
+        Elections run sequentially on the shared runtime; each election
+        re-resolves every node's mode, so the views are captured
+        immediately after their own round settles.  Each round costs
+        the usual at-most-five messages per node (§3.1 calls this "a
+        reasonable startup cost").
+        """
+        base_config = self.runtime.config
+        for threshold in self.thresholds:
+            scoped = replace(base_config, threshold=threshold)
+            for node in self.runtime.nodes.values():
+                node.config = scoped
+            self.runtime.coordinator.config = scoped
+            view = self.runtime.run_election()
+            self._views[threshold] = view
+        # restore the runtime's configured threshold
+        for node in self.runtime.nodes.values():
+            node.config = base_config
+        self.runtime.coordinator.config = base_config
+        return dict(self._views)
+
+    @property
+    def views(self) -> dict[float, SnapshotView]:
+        """Views built so far, by threshold."""
+        return dict(self._views)
+
+    def view_for_threshold(self, query_threshold: float) -> Optional[SnapshotView]:
+        """The §3.1 reuse rule: the finest snapshot with ``T <= query T``.
+
+        Returns ``None`` when the query is tighter than every built
+        snapshot — it must trigger its own election.
+        """
+        usable = [t for t in self._views if t <= query_threshold]
+        if not usable:
+            return None
+        # coarsest usable snapshot => fewest participating nodes
+        return self._views[max(usable)]
+
+    def sizes(self) -> dict[float, int]:
+        """Snapshot size per threshold (the shape of Figure 11)."""
+        return {threshold: view.size for threshold, view in self._views.items()}

@@ -1,0 +1,809 @@
+"""Per-node snapshot protocol state machine (§5 and §5.1 of the paper).
+
+:class:`ProtocolNode` implements everything one sensor runs:
+
+**Global election** (Table 2), driven phase-by-phase by the
+:class:`~repro.core.election.ElectionCoordinator`:
+
+1. *invitation* — broadcast our current measurement, collecting the
+   neighbors' invitations as they arrive;
+2. *model evaluation* — estimate each inviter's value with our cached
+   model and broadcast the list ``Cand_nodes`` of those within the
+   threshold;
+3. *initial selection* — accept the offer with the longest candidate
+   list (largest id breaks ties) and inform the chosen representative;
+4. *refinement* — apply Rules 0–4 of Figure 5, exchanging at most two
+   more messages per node, until every node settles ACTIVE or PASSIVE.
+
+**Maintenance** (§5.1): passive nodes heartbeat their representative
+and re-elect on a bad estimate or a timeout; lone actives periodically
+invite; representatives can resign (energy hand-off, LEACH-style
+rotation).  Maintenance selection ranks offers by
+``len(Cand_nodes) + |already represented|``.
+
+The refinement rules are evaluated as a message-driven fixpoint:
+``_reconsider`` re-applies the rule list whenever local knowledge
+changes (a recall arrives, a stay-active request arrives, ...), exactly
+reproducing the cascade of the paper's running example (Figures 3→4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.config import ProtocolConfig
+from repro.core.status import NodeMode
+from repro.models.estimator import NeighborModelStore
+from repro.network.messages import (
+    Accept,
+    AckRepresenting,
+    CandidateList,
+    DataReport,
+    Heartbeat,
+    HeartbeatReply,
+    Invitation,
+    Message,
+    Recall,
+    Resign,
+    StayActive,
+)
+from repro.network.radio import Radio
+from repro.simulation.events import Event
+
+__all__ = ["ProtocolNode", "MemberInfo"]
+
+
+@dataclass
+class MemberInfo:
+    """What a representative knows about a node it represents.
+
+    The location travels inside the Accept message so the
+    representative can evaluate spatial predicates on the member's
+    behalf (§3.1); the timestamps support spurious-representative
+    arbitration and stale-claim expiry (§3's "filtering and
+    self-correction ... performed by the network").
+    """
+
+    location: Optional[tuple[float, float]]
+    accepted_at: float
+    last_heard: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.last_heard < self.accepted_at:
+            self.last_heard = self.accepted_at
+
+
+class ProtocolNode:
+    """The snapshot protocol instance running on one sensor node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        radio: Radio,
+        store: NeighborModelStore,
+        config: ProtocolConfig,
+        value_fn: Callable[[], float],
+        location: tuple[float, float],
+    ) -> None:
+        self.node_id = node_id
+        self.radio = radio
+        self.store = store
+        self.config = config
+        self.value_fn = value_fn
+        self.location = location
+        self.simulator = radio.simulator
+        self._rng = self.simulator.random.stream("protocol")
+
+        # public protocol state
+        self.mode = NodeMode.UNDEFINED
+        self.representative_id: Optional[int] = None
+        self.represented: dict[int, MemberInfo] = {}
+        self.epoch = 0
+
+        # election-round scratch state
+        self._collecting_invitations = False
+        self._heard_invitations: dict[int, float] = {}
+        self._heard_list_lengths: dict[int, int] = {}
+        self._offers: dict[int, int] = {}
+        self._my_list_length = 0
+        self._refining = False
+        self._sent_recall = False
+        self._sent_stay_active = False
+        self._ack_pending = False
+        self._rule4_event: Optional[Event] = None
+
+        # maintenance scratch state
+        self._awaiting_offers = False
+        self._await_reply = False
+        self._reply_timeout_event: Optional[Event] = None
+        self._resigning = False
+        self._pending_invitations: dict[int, tuple[float, int]] = {}
+        self._offer_flush_scheduled = False
+
+        # Snoop probability is mutable so training phases can override
+        # the configured rate (the runtime's ``train`` sets it to 1).
+        self.snoop_probability = config.snoop_probability
+
+        # statistics
+        self.reelections = 0
+
+        self.device = radio.node(node_id)
+        self.device.attach(self._on_message)
+
+    # ------------------------------------------------------------------
+    # public read side
+    # ------------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """Whether the underlying device still has battery."""
+        return self.device.alive
+
+    @property
+    def is_representative(self) -> bool:
+        """ACTIVE nodes are the snapshot's representatives."""
+        return self.mode is NodeMode.ACTIVE
+
+    def covered_nodes(self) -> set[int]:
+        """Node ids this node answers snapshot queries for.
+
+        An ACTIVE node covers itself and every node it represents; a
+        PASSIVE (or undefined) node covers nothing.
+        """
+        if self.mode is not NodeMode.ACTIVE:
+            return set()
+        return {self.node_id} | set(self.represented)
+
+    def member_location(self, member_id: int) -> Optional[tuple[float, float]]:
+        """Known location of a represented node (``None`` if never learned)."""
+        info = self.represented.get(member_id)
+        return None if info is None else info.location
+
+    def estimate_for(self, member_id: int) -> Optional[float]:
+        """Model estimate of a represented node's current value."""
+        if member_id == self.node_id:
+            return self.value_fn()
+        return self.store.estimate(member_id, self.value_fn())
+
+    # ------------------------------------------------------------------
+    # global election phases (called by the coordinator)
+    # ------------------------------------------------------------------
+
+    def reset_round(self, epoch: int) -> None:
+        """Clear all round state and start collecting invitations."""
+        self.epoch = epoch
+        self.mode = NodeMode.UNDEFINED
+        self.representative_id = None
+        self.represented.clear()
+        self._heard_invitations.clear()
+        self._heard_list_lengths.clear()
+        self._offers.clear()
+        self._my_list_length = 0
+        self._refining = False
+        self._sent_recall = False
+        self._sent_stay_active = False
+        self._ack_pending = False
+        self._collecting_invitations = True
+        self._awaiting_offers = False
+        self._await_reply = False
+        self._resigning = False
+        self._pending_invitations.clear()
+        self._offer_flush_scheduled = False
+        self._cancel_event("_rule4_event")
+        self._cancel_event("_reply_timeout_event")
+
+    def phase_invite(self) -> None:
+        """Invitation phase: broadcast our current measurement."""
+        if not self.alive:
+            return
+        self.radio.broadcast(
+            Invitation(sender=self.node_id, value=self.value_fn(), epoch=self.epoch)
+        )
+
+    def phase_evaluate(self) -> None:
+        """Model-evaluation phase: broadcast the list of nodes we can represent."""
+        if not self.alive:
+            return
+        self._collecting_invitations = False
+        own_value = self.value_fn()
+        candidates = tuple(
+            j
+            for j in sorted(self._heard_invitations)
+            if self.store.can_represent(
+                j,
+                self._heard_invitations[j],
+                own_value,
+                self.config.metric,
+                self.config.threshold,
+            )
+        )
+        self._my_list_length = len(candidates)
+        self.radio.broadcast(
+            CandidateList(
+                sender=self.node_id,
+                candidates=candidates,
+                epoch=self.epoch,
+                already_representing=0,
+            )
+        )
+
+    def phase_select(self) -> None:
+        """Initial selection: accept the best offer, or represent ourselves."""
+        if not self.alive:
+            return
+        choice = self._best_offer()
+        if choice is None:
+            self.representative_id = self.node_id
+        else:
+            self.representative_id = choice
+            self._send_accept(choice)
+
+    def phase_refine(self) -> None:
+        """Start the Figure 5 refinement fixpoint plus the Rule-4 timer."""
+        if not self.alive:
+            return
+        self._refining = True
+        self._reconsider()
+        if not self.mode.settled:
+            self._rule4_event = self.simulator.schedule(
+                self.config.max_wait, self._rule4_tick, label="rule4"
+            )
+
+    def end_refinement(self) -> None:
+        """Close the global round's refinement (scheduled by the coordinator).
+
+        After this, the Figure 5 rules stop re-firing on incoming
+        messages and the maintenance semantics (e.g. the PASSIVE
+        role-taking flip on Accept) fully apply.
+        """
+        self._refining = False
+
+    # ------------------------------------------------------------------
+    # refinement rules (Figure 5)
+    # ------------------------------------------------------------------
+
+    def _reconsider(self) -> None:
+        """Apply Rules 0–3 against current knowledge (idempotent)."""
+        if not self._refining or not self.alive:
+            return
+
+        # Rule-0: break mutual-representation ties by list length, then id.
+        rep = self.representative_id
+        if (
+            not self.mode.settled
+            and rep is not None
+            and rep != self.node_id
+            and rep in self.represented
+        ):
+            their_length = self._heard_list_lengths.get(rep, 0)
+            if self._my_list_length > their_length or (
+                self._my_list_length == their_length and self.node_id > rep
+            ):
+                self._settle(NodeMode.ACTIVE)
+
+        # Rule-1: nodes that represent themselves stay ACTIVE.
+        if not self.mode.settled and self.representative_id == self.node_id:
+            self._settle(NodeMode.ACTIVE)
+
+        # Rule-2: an ACTIVE node recalls its own (redundant) representative.
+        if (
+            self.mode is NodeMode.ACTIVE
+            and self.representative_id is not None
+            and self.representative_id != self.node_id
+            and not self._sent_recall
+        ):
+            old_rep = self.representative_id
+            self._sent_recall = True
+            self.representative_id = self.node_id
+            self.radio.unicast(
+                Recall(sender=self.node_id, target=old_rep, epoch=self.epoch), old_rep
+            )
+
+        # Rule-3: represented, representing no one -> request the
+        # representative to stay ACTIVE; PASSIVE follows its ack.
+        if (
+            not self.mode.settled
+            and self.representative_id is not None
+            and self.representative_id != self.node_id
+            and not self.represented
+            and not self._sent_stay_active
+        ):
+            self._sent_stay_active = True
+            self.radio.unicast(
+                StayActive(
+                    sender=self.node_id,
+                    target=self.representative_id,
+                    epoch=self.epoch,
+                ),
+                self.representative_id,
+            )
+
+    def _rule4_tick(self) -> None:
+        """Rule-4: timed-out UNDEFINED nodes go ACTIVE with prob ``1 - P_wait``.
+
+        The ELSE branch of Figure 5 "reconsiders in the next time unit":
+        the node re-enters the rule loop, which in particular re-sends
+        its Rule-3 StayActive request.  Under message loss this retry is
+        what lets most represented nodes still settle PASSIVE (the
+        robustness Figure 7 demonstrates up to ~80% loss); without loss
+        no node ever reaches Rule-4 and the at-most-two refinement
+        messages of Table 2 hold.
+        """
+        self._rule4_event = None
+        if not self.alive or self.mode.settled:
+            return
+        if self._rng.random() > self.config.p_wait:
+            self._settle(NodeMode.ACTIVE)
+            self._reconsider()
+        else:
+            # Retry Rule-3: a lost StayActive or acknowledgment is the
+            # usual reason we are still UNDEFINED.
+            self._sent_stay_active = False
+            self._reconsider()
+            self._rule4_event = self.simulator.schedule(
+                self.config.rule4_retry, self._rule4_tick, label="rule4"
+            )
+
+    def _settle(self, mode: NodeMode) -> None:
+        """Resolve UNDEFINED to ``mode``; settled modes never flip in-round."""
+        if self.mode.settled:
+            return
+        self.mode = mode
+        self.simulator.trace.emit(
+            self.simulator.now, "protocol.settled",
+            node=self.node_id, mode=mode.value, epoch=self.epoch,
+        )
+
+    # ------------------------------------------------------------------
+    # maintenance (§5.1)
+    # ------------------------------------------------------------------
+
+    def send_heartbeat(self) -> None:
+        """Passive node: probe the representative with our current value."""
+        if not self.alive or self.mode is not NodeMode.PASSIVE:
+            return
+        rep = self.representative_id
+        if rep is None or rep == self.node_id:
+            return
+        self.radio.unicast(
+            Heartbeat(sender=self.node_id, target=rep, value=self.value_fn()), rep
+        )
+        self._await_reply = True
+        self._cancel_event("_reply_timeout_event")
+        self._reply_timeout_event = self.simulator.schedule(
+            self.config.heartbeat_timeout, self._heartbeat_timeout, label="hb-timeout"
+        )
+
+    def _heartbeat_timeout(self) -> None:
+        """No reply: the representative failed or is out of reach — re-elect."""
+        self._reply_timeout_event = None
+        if not self._await_reply or not self.alive:
+            return
+        self._await_reply = False
+        self.simulator.trace.emit(
+            self.simulator.now, "maintenance.rep_unreachable",
+            node=self.node_id, representative=self.representative_id,
+        )
+        self.start_reelection()
+
+    def lone_active_invite(self) -> None:
+        """ACTIVE node representing only itself periodically invites (§5.1)."""
+        if (
+            not self.alive
+            or self.mode is not NodeMode.ACTIVE
+            or self.represented
+            or self._resigning
+            or self._awaiting_offers
+        ):
+            return
+        self.start_reelection(recall_old=False)
+
+    def start_reelection(self, recall_old: bool = False) -> None:
+        """Invite the neighborhood to (re-)represent us (§5.1 discovery).
+
+        Parameters
+        ----------
+        recall_old:
+            Send a Recall to the previous representative first (used
+            when it is reachable but its model went stale, so it does
+            not keep a spurious claim).
+        """
+        if not self.alive:
+            return
+        old_rep = self.representative_id
+        if (
+            recall_old
+            and old_rep is not None
+            and old_rep != self.node_id
+        ):
+            self.radio.unicast(
+                Recall(sender=self.node_id, target=old_rep, epoch=self.epoch), old_rep
+            )
+        self.reelections += 1
+        self.mode = NodeMode.UNDEFINED
+        self.representative_id = None
+        self._offers.clear()
+        self._awaiting_offers = True
+        self.radio.broadcast(
+            Invitation(sender=self.node_id, value=self.value_fn(), epoch=self.epoch)
+        )
+        self.simulator.schedule(
+            self.config.reply_window, self._finish_reelection, label="reelect-select"
+        )
+
+    def _finish_reelection(self) -> None:
+        """Pick the best maintenance offer: ``len(list) + already_representing``."""
+        if not self.alive or not self._awaiting_offers:
+            return
+        self._awaiting_offers = False
+        choice = self._best_offer()
+        # Rule-3's precondition holds in maintenance too: a node that
+        # (meanwhile) represents others must stay ACTIVE, otherwise
+        # chained adoptions could drain the network of representatives.
+        if choice is None or self.represented:
+            self.representative_id = self.node_id
+            self.mode = NodeMode.ACTIVE
+        else:
+            self.representative_id = choice
+            self._send_accept(choice)
+            self.mode = NodeMode.PASSIVE
+        self._offers.clear()
+
+    def resign(self) -> None:
+        """Hand the represented nodes back to the network (§5.1).
+
+        Used both for the energy hand-off (battery below threshold) and
+        for LEACH-style rotation.  The node ignores invitations until
+        the next maintenance round so it is not immediately re-elected.
+        """
+        if not self.alive or self.mode is not NodeMode.ACTIVE or not self.represented:
+            return
+        members = tuple(sorted(self.represented))
+        self._resigning = True
+        self.radio.broadcast(Resign(sender=self.node_id, members=members))
+        self.represented.clear()
+        self.simulator.trace.emit(
+            self.simulator.now, "maintenance.resigned",
+            node=self.node_id, members=list(members),
+        )
+        self.simulator.schedule(
+            self.config.heartbeat_period, self._clear_resigning, label="resign-cooldown"
+        )
+
+    def _clear_resigning(self) -> None:
+        self._resigning = False
+
+    def _energy_exhausted(self) -> bool:
+        """Whether the battery is below the §5.1 hand-off threshold."""
+        return (
+            self.config.energy_resign_fraction > 0
+            and self.device.battery.fraction_remaining
+            < self.config.energy_resign_fraction
+        )
+
+    def check_energy(self) -> None:
+        """Energy-aware hand-off: resign when below the battery threshold."""
+        if self.mode is NodeMode.ACTIVE and self.represented and self._energy_exhausted():
+            self.resign()
+
+    def expire_stale_members(self, max_silence: float) -> list[int]:
+        """Drop claims on members not heard from for ``max_silence``.
+
+        A member that died, drifted out of range, or elected another
+        representative stops heartbeating us; §3's timestamp-based
+        self-correction says the stale claim should be filtered by the
+        network.  Returns the expired member ids.
+        """
+        if self.mode is not NodeMode.ACTIVE or max_silence <= 0:
+            return []
+        now = self.simulator.now
+        expired = [
+            member
+            for member, info in self.represented.items()
+            if now - info.last_heard > max_silence
+        ]
+        for member in expired:
+            del self.represented[member]
+            self.simulator.trace.emit(
+                now, "maintenance.member_expired",
+                representative=self.node_id, member=member,
+            )
+        return expired
+
+    # ------------------------------------------------------------------
+    # message handling
+    # ------------------------------------------------------------------
+
+    def _on_message(self, message: Message, overheard: bool) -> None:
+        if isinstance(message, Invitation):
+            self._on_invitation(message)
+        elif isinstance(message, CandidateList):
+            self._on_candidate_list(message)
+        elif isinstance(message, Accept):
+            self._on_accept(message)
+        elif isinstance(message, Recall):
+            self._on_recall(message)
+        elif isinstance(message, StayActive):
+            self._on_stay_active(message)
+        elif isinstance(message, AckRepresenting):
+            self._on_ack_representing(message)
+        elif isinstance(message, Heartbeat):
+            self._on_heartbeat(message)
+        elif isinstance(message, HeartbeatReply):
+            self._on_heartbeat_reply(message)
+        elif isinstance(message, Resign):
+            self._on_resign(message)
+        elif isinstance(message, DataReport):
+            self._on_data_report(message)
+
+    def _on_invitation(self, message: Invitation) -> None:
+        if message.sender == self.node_id:
+            return
+        if self._collecting_invitations:
+            self._heard_invitations[message.sender] = message.value
+            return
+        # Maintenance path: any settled node in the vicinity responds
+        # (§5.1 — "the nodes in the vicinity respond as is summarized
+        # in Table 2"), including PASSIVE ones, which become ACTIVE if
+        # chosen.  A node mid-invitation must not mutually adopt a
+        # concurrent inviter, and a node that is resigning or below the
+        # energy hand-off threshold never volunteers for more work.
+        # Concurrent invitations (e.g. the members of a resigned
+        # representative all re-electing at once) are batched into a
+        # single CandidateList broadcast, exactly as in the global
+        # election's model-evaluation phase.
+        if (
+            not self.mode.settled
+            or self._resigning
+            or self._awaiting_offers
+            or self._energy_exhausted()
+        ):
+            return
+        self._pending_invitations[message.sender] = (message.value, message.epoch)
+        if not self._offer_flush_scheduled:
+            self._offer_flush_scheduled = True
+            self.simulator.schedule(
+                self.config.offer_batch_delay, self._flush_offers, label="offer-flush"
+            )
+
+    def _flush_offers(self) -> None:
+        """Answer all recently heard invitations with one candidate list."""
+        self._offer_flush_scheduled = False
+        pending, self._pending_invitations = self._pending_invitations, {}
+        if not pending or not self.alive:
+            return
+        if (
+            not self.mode.settled
+            or self._resigning
+            or self._awaiting_offers
+            or self._energy_exhausted()
+        ):
+            return
+        own_value = self.value_fn()
+        candidates = tuple(
+            inviter
+            for inviter in sorted(pending)
+            if self.store.can_represent(
+                inviter,
+                pending[inviter][0],
+                own_value,
+                self.config.metric,
+                self.config.threshold,
+            )
+        )
+        if not candidates:
+            return
+        epoch = max(epoch for __, epoch in pending.values())
+        self.radio.broadcast(
+            CandidateList(
+                sender=self.node_id,
+                candidates=candidates,
+                epoch=epoch,
+                already_representing=len(self.represented),
+            )
+        )
+
+    def _on_candidate_list(self, message: CandidateList) -> None:
+        if message.epoch != self.epoch:
+            return
+        self._heard_list_lengths[message.sender] = len(message.candidates)
+        if self.node_id in message.candidates:
+            self._offers[message.sender] = (
+                len(message.candidates) + message.already_representing
+            )
+
+    def _on_accept(self, message: Accept) -> None:
+        if message.representative != self.node_id or message.epoch != self.epoch:
+            return
+        self.represented[message.sender] = MemberInfo(
+            location=message.location, accepted_at=message.timestamp
+        )
+        # A PASSIVE node can only be the target of an Accept during
+        # maintenance (the global round's Accepts all precede any mode
+        # settling), so check the role-taking flip before refinement.
+        if self.mode is NodeMode.PASSIVE:
+            # Maintenance: a passive node chosen as representative takes
+            # the role — it turns ACTIVE and recalls its own
+            # representative (the Rule-2 clean-up, applied outside the
+            # global round), keeping the representation structure flat.
+            self.mode = NodeMode.ACTIVE
+            old_rep = self.representative_id
+            self.representative_id = self.node_id
+            if old_rep is not None and old_rep != self.node_id:
+                self.radio.unicast(
+                    Recall(sender=self.node_id, target=old_rep, epoch=self.epoch),
+                    old_rep,
+                )
+        elif self._refining:
+            self._reconsider()
+
+    def _on_recall(self, message: Recall) -> None:
+        if message.target != self.node_id:
+            return
+        self.represented.pop(message.sender, None)
+        if self._refining:
+            self._reconsider()
+
+    def _on_stay_active(self, message: StayActive) -> None:
+        if message.target != self.node_id:
+            return
+        if self.mode is NodeMode.PASSIVE:
+            # Cannot honor without flipping modes; the requester falls
+            # back to Rule-4 when no acknowledgment arrives.
+            return
+        if message.sender not in self.represented:
+            # The Accept may have been lost; the StayActive itself
+            # asserts the sender considers us its representative.
+            self.represented[message.sender] = MemberInfo(
+                location=None, accepted_at=self.simulator.now
+            )
+        if not self.mode.settled:
+            self._settle(NodeMode.ACTIVE)
+        self._schedule_ack()
+        if self._refining:
+            self._reconsider()
+
+    def _on_ack_representing(self, message: AckRepresenting) -> None:
+        if (
+            self.mode.settled
+            or not self._sent_stay_active
+            or message.sender != self.representative_id
+            or self.node_id not in message.represented
+        ):
+            return
+        self._settle(NodeMode.PASSIVE)
+        self._cancel_event("_rule4_event")
+
+    def _on_heartbeat(self, message: Heartbeat) -> None:
+        if message.target != self.node_id or not self.alive:
+            return
+        own_value = self.value_fn()
+        # The heartbeat doubles as a model fine-tuning sample (§3).
+        self._record_observation(message.sender, own_value, message.value)
+        if self.mode is NodeMode.ACTIVE and message.sender in self.represented:
+            self.represented[message.sender].last_heard = self.simulator.now
+            estimate = self.store.estimate(message.sender, own_value)
+        else:
+            # We are not actually this node's representative (a stale
+            # pointer after churn): answer with no estimate so the
+            # sender re-elects instead of trusting a broken structure.
+            estimate = None
+        self.radio.unicast(
+            HeartbeatReply(
+                sender=self.node_id, target=message.sender, estimate=estimate
+            ),
+            message.sender,
+        )
+        # Heartbeats arrive staggered across the whole maintenance
+        # period, so checking here lets a draining representative hand
+        # off (§5.1) before its battery actually empties, instead of
+        # only at period boundaries.
+        self.check_energy()
+
+    def _on_heartbeat_reply(self, message: HeartbeatReply) -> None:
+        if message.target != self.node_id or not self._await_reply:
+            return
+        if message.sender != self.representative_id:
+            return
+        self._await_reply = False
+        self._cancel_event("_reply_timeout_event")
+        current = self.value_fn()
+        bad_estimate = message.estimate is None or not self.config.metric.within(
+            current, message.estimate, self.config.threshold
+        )
+        if bad_estimate:
+            self.simulator.trace.emit(
+                self.simulator.now, "maintenance.model_stale",
+                node=self.node_id, representative=message.sender,
+            )
+            # The representative is reachable but inaccurate: recall it
+            # so no spurious claim lingers, then re-elect.
+            self.start_reelection(recall_old=True)
+
+    def _on_resign(self, message: Resign) -> None:
+        if (
+            self.mode is NodeMode.PASSIVE
+            and message.sender == self.representative_id
+            and self.node_id in message.members
+        ):
+            self.start_reelection()
+
+    def _on_data_report(self, message: DataReport) -> None:
+        if message.sender == self.node_id:
+            return
+        # Only model raw measurements the reporter took itself; estimates
+        # produced on behalf of other nodes would poison the cache.
+        if message.estimated or message.origin != message.sender:
+            return
+        probability = self.snoop_probability
+        if probability <= 0:
+            return
+        if probability >= 1.0 or self._rng.random() < probability:
+            self._record_observation(message.sender, self.value_fn(), message.value)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _best_offer(self) -> Optional[int]:
+        """The §5 selection rule: longest candidate list, largest id on
+        ties — or a uniformly random offer under the ablation policy."""
+        if not self._offers:
+            return None
+        if self.config.selection_policy == "random":
+            choices = sorted(self._offers)
+            return int(choices[self._rng.integers(0, len(choices))])
+        return max(self._offers.items(), key=lambda item: (item[1], item[0]))[0]
+
+    def _send_accept(self, representative: int) -> None:
+        self.radio.unicast(
+            Accept(
+                sender=self.node_id,
+                representative=representative,
+                epoch=self.epoch,
+                location=self.location,
+                timestamp=self.simulator.now,
+            ),
+            representative,
+        )
+
+    def _schedule_ack(self) -> None:
+        """Debounced Rule-3 acknowledgment: one broadcast per burst."""
+        if self._ack_pending:
+            return
+        self._ack_pending = True
+
+        def fire() -> None:
+            self._ack_pending = False
+            if not self.alive:
+                return
+            self.radio.broadcast(
+                AckRepresenting(
+                    sender=self.node_id,
+                    represented=tuple(sorted(self.represented)),
+                    epoch=self.epoch,
+                )
+            )
+
+        self.simulator.schedule(self.config.ack_delay, fire, label="ack")
+
+    def _record_observation(
+        self, neighbor_id: int, own_value: float, neighbor_value: float
+    ) -> str:
+        """Feed the cache and charge the §6.2 CPU cost for the update."""
+        action = self.store.record(neighbor_id, own_value, neighbor_value)
+        self.radio.charge_cpu(self.node_id)
+        return action
+
+    def _cancel_event(self, attribute: str) -> None:
+        event = getattr(self, attribute)
+        if event is not None:
+            self.simulator.cancel(event)
+            setattr(self, attribute, None)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProtocolNode(id={self.node_id}, mode={self.mode.value}, "
+            f"rep={self.representative_id}, members={sorted(self.represented)})"
+        )

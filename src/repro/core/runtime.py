@@ -1,0 +1,228 @@
+"""The top-level facade: a snapshot-enabled sensor network.
+
+:class:`SnapshotRuntime` wires every substrate together — simulator,
+radio, batteries, model stores, protocol nodes, election coordinator,
+maintenance manager — into the object users (and the experiment
+harness) drive:
+
+>>> from repro import (SnapshotRuntime, RandomWalkConfig, ProtocolConfig,
+...                    generate_random_walk, uniform_random_topology)
+>>> import numpy as np
+>>> rng = np.random.default_rng(0)
+>>> dataset, _ = generate_random_walk(RandomWalkConfig(n_nodes=20, n_classes=2), rng)
+>>> topology = uniform_random_topology(20, transmission_range=1.5, rng=rng)
+>>> net = SnapshotRuntime(topology, dataset, ProtocolConfig(threshold=1.0))
+>>> net.train(duration=10)
+>>> view = net.run_election()
+>>> 1 <= view.size <= 20
+True
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.config import ProtocolConfig
+from repro.core.election import ElectionCoordinator
+from repro.core.maintenance import MaintenanceManager
+from repro.core.protocol import ProtocolNode
+from repro.core.snapshot import SnapshotView
+from repro.data.series import Dataset
+from repro.energy.costs import PAPER_COST_MODEL, EnergyCostModel
+from repro.models.cache_manager import ModelAwareCache
+from repro.models.estimator import NeighborModelStore
+from repro.models.policy import CachePolicy
+from repro.network.links import PERFECT_LINKS, LossModel
+from repro.network.messages import DataReport
+from repro.network.radio import Radio
+from repro.network.topology import Topology
+from repro.simulation.engine import Simulator
+
+__all__ = ["SnapshotRuntime", "DEFAULT_CACHE_BYTES"]
+
+#: The cache budget used everywhere the paper does not sweep it (§6.1).
+DEFAULT_CACHE_BYTES = 2048
+
+
+class SnapshotRuntime:
+    """A fully assembled snapshot-query sensor network.
+
+    Parameters
+    ----------
+    topology:
+        Node placement and transmission ranges.
+    dataset:
+        Ground-truth measurement series, one per node; must cover at
+        least as many nodes as the topology.
+    config:
+        Protocol configuration (threshold, metric, timings, ...).
+    seed:
+        Root seed of all random streams.
+    loss_model:
+        Link loss (the paper's ``P_loss``); lossless by default.
+    cache_factory:
+        Builds each node's cache policy; defaults to the model-aware
+        manager with the paper's 2,048-byte budget.
+    battery_capacity:
+        Initial per-node charge in transmission units, or ``None`` for
+        infinite batteries (the §6.1 setting).
+    cost_model:
+        Energy prices (defaults to the paper's §6.2 accounting).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        dataset: Dataset,
+        config: Optional[ProtocolConfig] = None,
+        seed: int = 0,
+        loss_model: LossModel = PERFECT_LINKS,
+        cache_factory: Optional[Callable[[], CachePolicy]] = None,
+        battery_capacity: Optional[float] = None,
+        cost_model: EnergyCostModel = PAPER_COST_MODEL,
+        keep_trace_records: bool = False,
+    ) -> None:
+        if dataset.n_nodes < len(topology):
+            raise ValueError(
+                f"dataset has {dataset.n_nodes} series but the topology "
+                f"has {len(topology)} nodes"
+            )
+        self.topology = topology
+        self.dataset = dataset
+        self.config = config if config is not None else ProtocolConfig()
+        self.simulator = Simulator(seed=seed, keep_trace_records=keep_trace_records)
+        self.radio = Radio(
+            self.simulator,
+            topology,
+            loss_model=loss_model,
+            cost_model=cost_model,
+        )
+        self.radio.populate(battery_capacity=battery_capacity)
+        if cache_factory is None:
+            cache_factory = lambda: ModelAwareCache(DEFAULT_CACHE_BYTES)
+
+        self.nodes: dict[int, ProtocolNode] = {}
+        for node_id in topology.node_ids:
+            store = NeighborModelStore(cache_factory())
+            self.nodes[node_id] = ProtocolNode(
+                node_id=node_id,
+                radio=self.radio,
+                store=store,
+                config=self.config,
+                value_fn=self._value_fn(node_id),
+                location=topology.position(node_id),
+            )
+        self.coordinator = ElectionCoordinator(self.simulator, self.nodes, self.config)
+        self.maintenance = MaintenanceManager(
+            self.simulator, self.nodes, self.config, self.radio.stats
+        )
+
+    def _value_fn(self, node_id: int) -> Callable[[], float]:
+        def read() -> float:
+            return self.dataset.value(node_id, self.simulator.now)
+
+        return read
+
+    # ------------------------------------------------------------------
+    # convenience accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.simulator.now
+
+    @property
+    def stats(self):
+        """Message counters (see :class:`~repro.network.MessageStats`)."""
+        return self.radio.stats
+
+    @property
+    def ledger(self):
+        """Energy ledger (see :class:`~repro.energy.EnergyLedger`)."""
+        return self.radio.ledger
+
+    def value_of(self, node_id: int) -> float:
+        """Ground-truth measurement of ``node_id`` right now."""
+        return self.dataset.value(node_id, self.simulator.now)
+
+    def alive_ids(self) -> list[int]:
+        """Ids of nodes still holding charge."""
+        return self.radio.alive_ids()
+
+    # ------------------------------------------------------------------
+    # driving the network
+    # ------------------------------------------------------------------
+
+    def train(
+        self,
+        start: Optional[float] = None,
+        duration: float = 10.0,
+        interval: float = 1.0,
+    ) -> None:
+        """Run the §6.1 warm-up: a query selecting every node's value.
+
+        For ``duration`` time units, every alive node broadcasts a data
+        report each ``interval``; neighbors cache every report they
+        hear (snoop probability 1 during training), building their
+        correlation models.  The simulator is advanced past the end of
+        the window.
+        """
+        if duration <= 0 or interval <= 0:
+            raise ValueError("training duration and interval must be positive")
+        t0 = self.simulator.now if start is None else start
+        saved = {node_id: node.snoop_probability for node_id, node in self.nodes.items()}
+
+        def set_snoop(probability: Optional[dict[int, float]]) -> Callable[[], None]:
+            def apply() -> None:
+                for node_id, node in self.nodes.items():
+                    node.snoop_probability = (
+                        1.0 if probability is None else probability[node_id]
+                    )
+
+            return apply
+
+        def broadcast_all() -> None:
+            for node_id in sorted(self.nodes):
+                node = self.nodes[node_id]
+                if node.alive:
+                    self.radio.broadcast(
+                        DataReport(
+                            sender=node_id,
+                            query_id=0,
+                            origin=node_id,
+                            value=node.value_fn(),
+                        )
+                    )
+
+        self.simulator.schedule_at(t0, set_snoop(None), label="train:snoop-on")
+        tick = t0
+        end = t0 + duration
+        while tick < end:
+            self.simulator.schedule_at(tick, broadcast_all, label="train:broadcast")
+            tick += interval
+        self.simulator.schedule_at(end, set_snoop(saved), label="train:snoop-restore")
+        self.simulator.run_until(end)
+
+    def run_election(self, at: Optional[float] = None) -> SnapshotView:
+        """Run one global election and return the settled snapshot."""
+        t0 = self.simulator.now if at is None else at
+        self.coordinator.start_round(at=t0)
+        self.simulator.run_until(t0 + self.coordinator.settle_delay)
+        return self.snapshot()
+
+    def snapshot(self) -> SnapshotView:
+        """Capture the current snapshot structure."""
+        return SnapshotView.capture(self.nodes)
+
+    def start_maintenance(self) -> None:
+        """Arm the periodic §5.1 maintenance."""
+        self.maintenance.start()
+
+    def advance_to(self, time: float) -> None:
+        """Run the simulation up to absolute ``time``."""
+        self.simulator.run_until(time)
+
+    def idle_until(self, time: float) -> None:
+        """Alias of :meth:`advance_to` for readability in experiments."""
+        self.advance_to(time)

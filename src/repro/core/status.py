@@ -1,0 +1,34 @@
+"""Node status flags (§5 of the paper).
+
+Each node carries a status flag that is initially undefined and settles
+to ACTIVE or PASSIVE during an election:
+
+* an **ACTIVE** node represents a non-empty set of nodes (including, by
+  default, itself) and responds to snapshot queries involving any of
+  them;
+* a **PASSIVE** node is represented by another node and does not respond
+  to snapshot queries (under severe energy constraints it may ask its
+  representative to replace it on *all* queries).
+
+Within one election nodes never flip between ACTIVE and PASSIVE — only
+UNDEFINED resolves.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["NodeMode"]
+
+
+class NodeMode(enum.Enum):
+    """The tri-state status flag of Figure 5."""
+
+    UNDEFINED = "undefined"
+    ACTIVE = "active"
+    PASSIVE = "passive"
+
+    @property
+    def settled(self) -> bool:
+        """Whether the flag has resolved (Rule-4's exit condition)."""
+        return self is not NodeMode.UNDEFINED

@@ -1,0 +1,24 @@
+"""Workload generators and measurement datasets.
+
+Two generators reproduce the paper's §6 workloads: the class-correlated
+random walks of the sensitivity analysis (§6.1) and a synthetic
+wind-speed source calibrated to the statistics of the University of
+Washington weather data used in §6.3.
+"""
+
+from repro.data.random_walk import (
+    RandomWalkConfig,
+    class_assignment,
+    generate_random_walk,
+)
+from repro.data.series import Dataset
+from repro.data.weather import WeatherConfig, generate_weather
+
+__all__ = [
+    "Dataset",
+    "RandomWalkConfig",
+    "WeatherConfig",
+    "class_assignment",
+    "generate_random_walk",
+    "generate_weather",
+]

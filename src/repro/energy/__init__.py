@@ -1,0 +1,13 @@
+"""Energy substrate: batteries, cost model, and network-wide accounting.
+
+Implements the accounting of the paper's §6.2 lifetime experiment
+(Figure 10): batteries sized in transmission units, a cost model where
+one cache-maintenance run costs a tenth of a transmission, and a ledger
+attributing every joule to a node and an activity.
+"""
+
+from repro.energy.accounting import EnergyLedger
+from repro.energy.battery import Battery
+from repro.energy.costs import PAPER_COST_MODEL, EnergyCostModel
+
+__all__ = ["Battery", "EnergyCostModel", "EnergyLedger", "PAPER_COST_MODEL"]

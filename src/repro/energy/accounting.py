@@ -1,0 +1,67 @@
+"""Network-wide energy ledger.
+
+Figure 10 characterizes energy consumption over time under regular vs
+snapshot queries.  :class:`EnergyLedger` aggregates per-node draws by
+activity category (``transmit``, ``receive``, ``cpu``) so experiments
+can report not just *who died when*, but *where the energy went* —
+the background cost of snapshot maintenance vs the per-query drain.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+__all__ = ["EnergyLedger"]
+
+
+class EnergyLedger:
+    """Accumulates energy draws per node and per activity category."""
+
+    CATEGORIES = ("transmit", "receive", "cpu")
+
+    def __init__(self) -> None:
+        self._per_node: defaultdict[int, Counter[str]] = defaultdict(Counter)
+        self._totals: Counter[str] = Counter()
+
+    def record(self, node_id: int, category: str, amount: float) -> None:
+        """Charge ``amount`` against ``node_id`` under ``category``."""
+        if category not in self.CATEGORIES:
+            raise ValueError(
+                f"unknown category {category!r}; expected one of {self.CATEGORIES}"
+            )
+        if amount < 0:
+            raise ValueError(f"cannot record negative energy {amount}")
+        self._per_node[node_id][category] += amount
+        self._totals[category] += amount
+
+    def node_total(self, node_id: int) -> float:
+        """Total energy drawn by ``node_id`` across all categories."""
+        return sum(self._per_node[node_id].values())
+
+    def node_breakdown(self, node_id: int) -> dict[str, float]:
+        """Energy drawn by ``node_id``, by category."""
+        counts = self._per_node[node_id]
+        return {category: counts.get(category, 0.0) for category in self.CATEGORIES}
+
+    def total(self, category: str | None = None) -> float:
+        """Network-wide energy drawn, optionally for one category."""
+        if category is None:
+            return sum(self._totals.values())
+        if category not in self.CATEGORIES:
+            raise ValueError(
+                f"unknown category {category!r}; expected one of {self.CATEGORIES}"
+            )
+        return self._totals.get(category, 0.0)
+
+    def top_consumers(self, k: int = 5) -> list[tuple[int, float]]:
+        """The ``k`` nodes that drew the most energy, descending."""
+        ranked = sorted(
+            ((node, sum(counts.values())) for node, counts in self._per_node.items()),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+        return ranked[:k]
+
+    def clear(self) -> None:
+        """Reset the ledger."""
+        self._per_node.clear()
+        self._totals.clear()

@@ -1,0 +1,80 @@
+"""Experiment harness: one runner per table/figure of the paper's §6.
+
+Sensitivity analysis (Figures 6–9), query savings (Table 3, Figure 10)
+and the weather-data experiments (Figures 11–15), each returning the
+series the paper plots, averaged over repetitions with fresh seeds.
+"""
+
+from repro.experiments.harness import (
+    FULL_RANGE,
+    NetworkSetup,
+    Series,
+    SweepPoint,
+    build_runtime,
+    make_cache_factory,
+    random_walk_dataset,
+    repeat,
+    run_discovery,
+    weather_dataset,
+)
+from repro.experiments.reporting import (
+    format_multi_series,
+    format_rows,
+    format_series,
+    format_table3,
+)
+from repro.experiments.savings import (
+    LifetimeResult,
+    Table3Cell,
+    Table3Result,
+    figure10_lifetime,
+    table3_savings,
+)
+from repro.experiments.sensitivity import (
+    figure6_vary_classes,
+    figure7_vary_message_loss,
+    figure8_vary_cache_size,
+    figure9_vary_transmission_range,
+)
+from repro.experiments.weather_experiments import (
+    MaintenanceRun,
+    figure11_vary_threshold,
+    figure12_estimation_error,
+    figure13_spurious_representatives,
+    figure14_snapshot_size_over_time,
+    figure15_messages_per_update,
+    run_maintenance_experiment,
+)
+
+__all__ = [
+    "FULL_RANGE",
+    "LifetimeResult",
+    "MaintenanceRun",
+    "NetworkSetup",
+    "Series",
+    "SweepPoint",
+    "Table3Cell",
+    "Table3Result",
+    "build_runtime",
+    "figure10_lifetime",
+    "figure11_vary_threshold",
+    "figure12_estimation_error",
+    "figure13_spurious_representatives",
+    "figure14_snapshot_size_over_time",
+    "figure15_messages_per_update",
+    "figure6_vary_classes",
+    "figure7_vary_message_loss",
+    "figure8_vary_cache_size",
+    "figure9_vary_transmission_range",
+    "format_multi_series",
+    "format_rows",
+    "format_series",
+    "format_table3",
+    "make_cache_factory",
+    "random_walk_dataset",
+    "repeat",
+    "run_discovery",
+    "run_maintenance_experiment",
+    "table3_savings",
+    "weather_dataset",
+]

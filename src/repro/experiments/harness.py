@@ -1,0 +1,228 @@
+"""Shared experiment machinery.
+
+Every §6 experiment follows the same skeleton: build a network from a
+handful of knobs, run the §6.1 warm-up (train for 10 time units, stay
+silent until t=100), elect, measure, and average over ten repetitions
+with fresh seeds.  :class:`NetworkSetup` captures the knobs,
+:func:`run_discovery` executes the skeleton, and :class:`Series` /
+:class:`SweepPoint` hold the averaged sweep results the figures plot.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import ProtocolConfig
+from repro.core.runtime import SnapshotRuntime
+from repro.core.snapshot import SnapshotView
+from repro.data.random_walk import RandomWalkConfig, generate_random_walk
+from repro.data.series import Dataset
+from repro.data.weather import WeatherConfig, generate_weather
+from repro.models.cache_manager import ModelAwareCache
+from repro.models.metrics import metric_by_name
+from repro.models.policy import CachePolicy
+from repro.models.round_robin import RoundRobinCache
+from repro.network.links import GlobalLoss
+from repro.network.topology import Topology, uniform_random_topology
+
+__all__ = [
+    "NetworkSetup",
+    "SweepPoint",
+    "Series",
+    "build_runtime",
+    "run_discovery",
+    "make_cache_factory",
+    "random_walk_dataset",
+    "weather_dataset",
+    "repeat",
+    "FULL_RANGE",
+]
+
+#: The paper's default transmission range: sqrt(2) lets every node hear
+#: every message on the unit square (§6.1).
+FULL_RANGE = math.sqrt(2.0)
+
+
+@dataclass(frozen=True)
+class NetworkSetup:
+    """The knobs shared by all §6 experiments.
+
+    Attributes mirror the paper's §6.1 base configuration; individual
+    experiments override what they sweep.
+    """
+
+    n_nodes: int = 100
+    transmission_range: float = FULL_RANGE
+    loss_probability: float = 0.0
+    cache_bytes: int = 2048
+    cache_policy: str = "model-aware"  # or "round-robin"
+    threshold: float = 1.0
+    metric_name: str = "sse"
+    train_duration: float = 10.0
+    election_time: float = 100.0
+    battery_capacity: Optional[float] = None
+    heartbeat_period: float = 100.0
+    snoop_probability: float = 1.0
+    energy_resign_fraction: float = 0.0
+    rotation_probability: float = 0.0
+
+    def protocol_config(self, **overrides) -> ProtocolConfig:
+        """The protocol configuration implied by this setup."""
+        values = dict(
+            threshold=self.threshold,
+            metric=metric_by_name(self.metric_name),
+            heartbeat_period=self.heartbeat_period,
+            snoop_probability=self.snoop_probability,
+            energy_resign_fraction=self.energy_resign_fraction,
+            rotation_probability=self.rotation_probability,
+        )
+        values.update(overrides)
+        return ProtocolConfig(**values)
+
+    def with_(self, **changes) -> "NetworkSetup":
+        """A modified copy (sweep helper)."""
+        return replace(self, **changes)
+
+
+def make_cache_factory(policy: str, cache_bytes: int) -> Callable[[], CachePolicy]:
+    """Cache-policy factory from a registry name."""
+    if policy == "model-aware":
+        return lambda: ModelAwareCache(cache_bytes)
+    if policy == "round-robin":
+        return lambda: RoundRobinCache(cache_bytes)
+    raise ValueError(
+        f"unknown cache policy {policy!r}; expected 'model-aware' or 'round-robin'"
+    )
+
+
+def build_runtime(
+    setup: NetworkSetup,
+    dataset: Dataset,
+    seed: int,
+    topology: Optional[Topology] = None,
+    config: Optional[ProtocolConfig] = None,
+) -> SnapshotRuntime:
+    """Assemble a runtime for ``setup`` over ``dataset``.
+
+    The topology is drawn from the run's own RNG unless supplied, so
+    every repetition sees a fresh placement, as in the paper.
+    """
+    rng = np.random.default_rng(seed)
+    if topology is None:
+        topology = uniform_random_topology(
+            setup.n_nodes, setup.transmission_range, rng
+        )
+    return SnapshotRuntime(
+        topology=topology,
+        dataset=dataset,
+        config=config if config is not None else setup.protocol_config(),
+        seed=seed,
+        loss_model=GlobalLoss(setup.loss_probability),
+        cache_factory=make_cache_factory(setup.cache_policy, setup.cache_bytes),
+        battery_capacity=setup.battery_capacity,
+    )
+
+
+def run_discovery(
+    setup: NetworkSetup, dataset: Dataset, seed: int
+) -> tuple[SnapshotRuntime, SnapshotView]:
+    """The §6.1 skeleton: train, idle until the election time, elect."""
+    runtime = build_runtime(setup, dataset, seed)
+    runtime.train(duration=setup.train_duration)
+    if setup.election_time > runtime.now:
+        runtime.advance_to(setup.election_time)
+    view = runtime.run_election()
+    return runtime, view
+
+
+def random_walk_dataset(
+    setup: NetworkSetup, n_classes: int, seed: int, length: int = 100
+) -> Dataset:
+    """The §6.1 synthetic workload for one repetition."""
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    dataset, _ = generate_random_walk(
+        RandomWalkConfig(n_nodes=setup.n_nodes, n_classes=n_classes, length=length),
+        rng,
+    )
+    return dataset
+
+
+def weather_dataset(setup: NetworkSetup, seed: int, length: int = 100) -> Dataset:
+    """The §6.3 synthetic wind-speed workload for one repetition."""
+    rng = np.random.default_rng(seed ^ 0xEA7)
+    dataset, _ = generate_weather(
+        WeatherConfig(n_series=setup.n_nodes, length=length), rng
+    )
+    return dataset
+
+
+# ----------------------------------------------------------------------
+# sweep result containers
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SweepPoint:
+    """One x-value of a sweep, with its per-repetition samples."""
+
+    x: float
+    samples: list[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        """Average over repetitions."""
+        return statistics.fmean(self.samples) if self.samples else math.nan
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (0 for a single repetition)."""
+        if len(self.samples) < 2:
+            return 0.0
+        return statistics.stdev(self.samples)
+
+
+@dataclass
+class Series:
+    """A named sweep: the data behind one line of a paper figure."""
+
+    label: str
+    x_name: str
+    y_name: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def add(self, x: float, samples: Sequence[float]) -> SweepPoint:
+        """Append a sweep point with its repetition samples."""
+        point = SweepPoint(x=x, samples=list(samples))
+        self.points.append(point)
+        return point
+
+    @property
+    def xs(self) -> list[float]:
+        """The sweep's x values, in insertion order."""
+        return [point.x for point in self.points]
+
+    @property
+    def means(self) -> list[float]:
+        """Per-point averages."""
+        return [point.mean for point in self.points]
+
+    def point_at(self, x: float) -> SweepPoint:
+        """The point with x value ``x``."""
+        for point in self.points:
+            if point.x == x:
+                return point
+        raise KeyError(f"no sweep point at x={x}")
+
+
+def repeat(
+    fn: Callable[[int], float], repetitions: int, base_seed: int
+) -> list[float]:
+    """Run ``fn(seed)`` for ``repetitions`` derived seeds; collect results."""
+    if repetitions <= 0:
+        raise ValueError(f"repetitions must be positive, got {repetitions}")
+    return [fn(base_seed * 1_000 + index) for index in range(repetitions)]

@@ -1,0 +1,84 @@
+"""Textual reporting in the paper's format.
+
+The benchmark harness prints, for every reproduced table and figure,
+the same rows/series the paper reports.  These helpers render
+:class:`~repro.experiments.harness.Series` sweeps and the Table 3 grid
+as aligned plain-text tables suitable for terminals and logs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.experiments.harness import Series
+from repro.experiments.savings import Table3Result
+
+__all__ = ["format_series", "format_multi_series", "format_table3", "format_rows"]
+
+
+def format_rows(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned text table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(series: Series, title: str = "") -> str:
+    """Render one sweep as ``x  mean ± std`` rows."""
+    rows = [
+        (f"{point.x:g}", f"{point.mean:.2f}", f"± {point.std:.2f}")
+        for point in series.points
+    ]
+    return format_rows(
+        (series.x_name, series.y_name, "spread"),
+        rows,
+        title=title or series.label,
+    )
+
+
+def format_multi_series(
+    series_by_label: dict, x_name: str, title: str = ""
+) -> str:
+    """Render several same-x sweeps side by side (one column per label)."""
+    labels = list(series_by_label)
+    first = series_by_label[labels[0]]
+    headers = [x_name] + [str(label) for label in labels]
+    rows = []
+    for index, x in enumerate(first.xs):
+        row = [f"{x:g}"]
+        for label in labels:
+            point = series_by_label[label].points[index]
+            row.append(f"{point.mean:.2f}")
+        rows.append(row)
+    return format_rows(headers, rows, title=title)
+
+
+def format_table3(result: Table3Result, title: str = "Table 3") -> str:
+    """Render Table 3 in the paper's layout (percent savings)."""
+    ranges = sorted({key[1] for key in result.cells})
+    classes = sorted({key[2] for key in result.cells})
+    areas = sorted({key[0] for key in result.cells})
+    headers = ["Query Range"] + [
+        f"K={k} r={r:g}" for k in classes for r in ranges
+    ]
+    rows = []
+    for area in areas:
+        row = [f"W^2 = {area:g}"]
+        for k in classes:
+            for r in ranges:
+                cell = result.cell(area, r, k)
+                row.append(f"{cell.percent:.0f}%")
+        rows.append(row)
+    return format_rows(headers, rows, title=title)

@@ -1,0 +1,125 @@
+"""Cache lines: the per-neighbor observation history (§4).
+
+A node's cache is a set of *cache lines*, one per neighbor it has heard
+from.  The cache line for neighbor ``N_j`` is a time-ordered list of
+pairs ``(x_i(t_k), x_j(t_k))`` — the node's own measurement and the
+neighbor's, sampled together.  Victims are always the *oldest* pair of
+some line: this both shifts the cache toward fresh observations and
+keeps every update linear in the line length.
+
+Budget accounting follows the paper exactly: values are 4-byte floats,
+so a pair occupies 8 bytes; a cache of 2,048 bytes holds 256 pairs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Optional
+
+from repro.models.regression import (
+    LinearModel,
+    fit_line,
+    mean_sse_of_model,
+    no_answer_sse,
+)
+
+__all__ = ["CacheLine", "BYTES_PER_VALUE", "BYTES_PER_PAIR", "pairs_for_budget"]
+
+#: The paper represents measurements as 4-byte floats (§6.1).
+BYTES_PER_VALUE = 4
+#: A cached observation is a pair of values.
+BYTES_PER_PAIR = 2 * BYTES_PER_VALUE
+
+
+def pairs_for_budget(cache_bytes: int) -> int:
+    """How many pairs fit in a ``cache_bytes`` budget.
+
+    >>> pairs_for_budget(2048)
+    256
+    """
+    if cache_bytes < BYTES_PER_PAIR:
+        raise ValueError(
+            f"cache of {cache_bytes} bytes cannot hold even one "
+            f"{BYTES_PER_PAIR}-byte pair"
+        )
+    return cache_bytes // BYTES_PER_PAIR
+
+
+class CacheLine:
+    """Time-ordered ``(x_i, x_j)`` observations for one neighbor.
+
+    The fitted model and its benefit are cached and invalidated on
+    mutation, giving the amortized linear-time updates §4 calls for.
+    """
+
+    def __init__(self, neighbor_id: int) -> None:
+        self.neighbor_id = neighbor_id
+        self._pairs: deque[tuple[float, float]] = deque()
+        self._model: Optional[LinearModel] = None
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(self._pairs)
+
+    @property
+    def pairs(self) -> list[tuple[float, float]]:
+        """The stored pairs, oldest first (a copy)."""
+        return list(self._pairs)
+
+    def append(self, own_value: float, neighbor_value: float) -> None:
+        """Store a new observation (newest position)."""
+        self._pairs.append((float(own_value), float(neighbor_value)))
+        self._model = None
+
+    def evict_oldest(self) -> tuple[float, float]:
+        """Remove and return the oldest observation.
+
+        Raises
+        ------
+        IndexError
+            If the line is empty.
+        """
+        if not self._pairs:
+            raise IndexError(f"cache line for neighbor {self.neighbor_id} is empty")
+        pair = self._pairs.popleft()
+        self._model = None
+        return pair
+
+    def model(self) -> LinearModel:
+        """The sse-optimal model for the stored pairs (cached)."""
+        if self._model is None:
+            self._model = fit_line(self.pairs)
+        return self._model
+
+    def benefit(self) -> float:
+        """``no_answer_sse(c) - sse(c, a*, b*)`` over the stored pairs (§4)."""
+        if not self._pairs:
+            return 0.0
+        pairs = self.pairs
+        return no_answer_sse(pairs) - mean_sse_of_model(pairs, self.model())
+
+    def eviction_penalty(self) -> float:
+        """§4's ``Penalty_Evict``: degradation from losing the oldest pair.
+
+        ``benefit(c', a*(c'), b*(c')) - benefit(c', a*(c''), b*(c''))``
+        where ``c''`` is the line minus its oldest pair.  Both models
+        are *evaluated over the full line* ``c'`` — the penalty measures
+        how much worse all known observations would be served.  A line
+        with a single pair has penalty equal to its full benefit (the
+        model disappears entirely).
+        """
+        pairs = self.pairs
+        if not pairs:
+            return 0.0
+        full_benefit = self.benefit()
+        remaining = pairs[1:]
+        if not remaining:
+            return full_benefit
+        reduced_model = fit_line(remaining)
+        reduced_benefit = no_answer_sse(pairs) - mean_sse_of_model(pairs, reduced_model)
+        return full_benefit - reduced_benefit
+
+    def __repr__(self) -> str:
+        return f"CacheLine(neighbor={self.neighbor_id}, pairs={len(self._pairs)})"

@@ -1,0 +1,191 @@
+"""The model-aware cache manager (§4 of the paper).
+
+When a new synchronized observation ``(x_i(t), x_j(t))`` arrives and
+the cache is full, the manager weighs three actions for ``N_j``'s line
+``c``:
+
+* **reject** — keep the cache as is;
+* **time-shift** — drop ``c``'s oldest pair and append the new one;
+* **augment** — append the new pair to ``c`` and evict the oldest pair
+  of some *other* line.
+
+All three are scored by the *benefit* their resulting model provides
+over the no-answer policy, where — crucially — every candidate model is
+evaluated over ``c_aug`` (all known observations of ``x_j``, including
+the new one):
+
+    benefit(c_aug, a, b) = no_answer_sse(c_aug) - sse(c_aug, a, b)
+
+The decision procedure, in the paper's order:
+
+1. if ``benefit(c_aug, a*(c), b*(c))`` dominates both the shift and the
+   augment models, the current model is already the most accurate on
+   everything we know → **reject**;
+2. else if the shift model dominates the augment model → **time-shift**;
+3. else augmenting is best; find the other line with the smallest
+   eviction penalty ``Penalty_Evict_k < Gain_Augment_j`` and evict its
+   oldest pair → **augment**;
+4. if no such victim exists, **time-shift** if the shift model still
+   beats the current one, otherwise **reject**.
+
+*Newcomers* (first observation for a neighbor) bypass the benefit test:
+their gain would be ``x_j(t)²``, which can evict a good small-amplitude
+model; instead the victim is chosen round-robin among all lines.
+
+Eviction penalties are memoized per line and invalidated only when the
+line changes, keeping each observation linear in the affected line's
+length (the speed-up §4 describes).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.models.cache import CacheLine
+from repro.models.policy import Action, CachePolicy
+from repro.models.regression import fit_line, mean_sse_of_model, no_answer_sse
+
+__all__ = ["ModelAwareCache"]
+
+
+class ModelAwareCache(CachePolicy):
+    """Benefit-driven cache admission and replacement (§4)."""
+
+    def __init__(self, cache_bytes: int) -> None:
+        super().__init__(cache_bytes)
+        self._penalties: dict[int, float] = {}
+        self._rr_cursor = -1
+
+    def observe(self, neighbor_id: int, own_value: float, neighbor_value: float) -> str:
+        """Offer a fresh pair for ``neighbor_id``; returns the action taken."""
+        new_pair = (float(own_value), float(neighbor_value))
+
+        if not self.is_full:
+            line = self._line_or_new(neighbor_id)
+            line.append(*new_pair)
+            self._penalties.pop(neighbor_id, None)
+            self._check_capacity_invariant()
+            return Action.APPEND
+
+        line = self._lines.get(neighbor_id)
+        if line is None or len(line) == 0:
+            action = self._admit_newcomer(neighbor_id, new_pair)
+            self._check_capacity_invariant()
+            return action
+
+        action = self._decide_full_cache(line, new_pair)
+        self._check_capacity_invariant()
+        return action
+
+    # -- the §4 decision procedure ------------------------------------------
+
+    def _decide_full_cache(self, line: CacheLine, new_pair: tuple[float, float]) -> str:
+        neighbor_id = line.neighbor_id
+        current_pairs = line.pairs
+        augmented = current_pairs + [new_pair]
+        shifted = current_pairs[1:] + [new_pair]
+
+        baseline = no_answer_sse(augmented)
+        model_current = line.model()
+        model_shift = fit_line(shifted)
+        model_augment = fit_line(augmented)
+
+        benefit_current = baseline - mean_sse_of_model(augmented, model_current)
+        benefit_shift = baseline - mean_sse_of_model(augmented, model_shift)
+        benefit_augment = baseline - mean_sse_of_model(augmented, model_augment)
+
+        # Test 1: the existing model serves all known observations best.
+        if benefit_current >= benefit_shift and benefit_current >= benefit_augment:
+            return Action.REJECT
+
+        # Test 2: replacing our own oldest observation is at least as good
+        # as growing the line.
+        if benefit_shift >= benefit_augment:
+            self._apply_shift(line, new_pair)
+            return Action.SHIFT
+
+        # Growing the line reduces the error; look for the cheapest victim
+        # elsewhere whose penalty is under our gain.
+        gain_augment = benefit_augment - benefit_shift
+        victim = self._cheapest_victim(exclude=neighbor_id, below=gain_augment)
+        if victim is not None:
+            self._evict_from(victim)
+            line.append(*new_pair)
+            self._penalties.pop(neighbor_id, None)
+            return Action.AUGMENT
+
+        # No affordable victim: time-shifting is still better than
+        # rejecting if its model beats the current one.
+        if benefit_shift > benefit_current:
+            self._apply_shift(line, new_pair)
+            return Action.SHIFT
+        return Action.REJECT
+
+    def _apply_shift(self, line: CacheLine, new_pair: tuple[float, float]) -> None:
+        line.evict_oldest()
+        line.append(*new_pair)
+        self._penalties.pop(line.neighbor_id, None)
+
+    # -- victim selection -----------------------------------------------------
+
+    def _eviction_penalty(self, neighbor_id: int) -> float:
+        """Memoized ``Penalty_Evict`` for ``neighbor_id``'s line."""
+        if neighbor_id not in self._penalties:
+            self._penalties[neighbor_id] = self._lines[neighbor_id].eviction_penalty()
+        return self._penalties[neighbor_id]
+
+    def _cheapest_victim(self, exclude: int, below: float) -> Optional[int]:
+        """The line with the smallest penalty strictly under ``below``.
+
+        Ties break toward the smaller neighbor id for determinism.
+        """
+        best_id: Optional[int] = None
+        best_penalty = below
+        for k in sorted(self._lines):
+            if k == exclude or len(self._lines[k]) == 0:
+                continue
+            penalty = self._eviction_penalty(k)
+            if penalty < best_penalty:
+                best_penalty = penalty
+                best_id = k
+        return best_id
+
+    def _evict_from(self, neighbor_id: int) -> None:
+        self._evict_oldest_of(neighbor_id)
+        self._penalties.pop(neighbor_id, None)
+
+    # -- newcomer handling ------------------------------------------------------
+
+    def _admit_newcomer(self, neighbor_id: int, new_pair: tuple[float, float]) -> str:
+        """First observation for a neighbor with the cache full.
+
+        The gain formula would value the newcomer at ``x_j²`` — enough
+        to destroy good models of small-amplitude measurements — so the
+        victim is instead chosen round-robin among all existing lines
+        (§4's "for newcomers we pick the victim in a round-robin
+        fashion").
+        """
+        victim = self._next_round_robin_victim(exclude=neighbor_id)
+        if victim is None:
+            # Degenerate budget: nothing to evict (no other line holds a
+            # pair).  Reject; the invariant wins over admission.
+            return Action.REJECT
+        self._evict_from(victim)
+        line = self._line_or_new(neighbor_id)
+        line.append(*new_pair)
+        self._penalties.pop(neighbor_id, None)
+        return Action.NEWCOMER
+
+    def _next_round_robin_victim(self, exclude: int) -> Optional[int]:
+        candidates = sorted(
+            k for k, line in self._lines.items() if k != exclude and len(line) > 0
+        )
+        if not candidates:
+            return None
+        for k in candidates:
+            if k > self._rr_cursor:
+                self._rr_cursor = k
+                return k
+        # wrap around
+        self._rr_cursor = candidates[0]
+        return candidates[0]

@@ -1,0 +1,108 @@
+"""Per-node model store: the bridge between caching and the protocol.
+
+:class:`NeighborModelStore` wraps a cache policy and answers the two
+questions the election protocol asks (§3, §5):
+
+* *record* — a neighbor's value was heard (snooped or via heartbeat)
+  together with our own current measurement; feed the cache;
+* *can I represent the neighbor?* — estimate ``x̂_j`` from our current
+  value and test ``d(x_j, x̂_j) <= T``.
+
+It also carries the multi-measurement extension the paper sketches in
+§3: with more than one sensing element per node, cache lines are keyed
+by ``(neighbor, measurement_id)`` while still sharing the single byte
+budget — "the only necessary modification is the addition of a
+measurement_id during model computation".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.models.metrics import ErrorMetric
+from repro.models.policy import CachePolicy
+from repro.models.regression import LinearModel
+
+__all__ = ["NeighborModelStore"]
+
+
+class NeighborModelStore:
+    """Models of all neighbors, backed by one byte-budgeted cache policy.
+
+    Parameters
+    ----------
+    policy:
+        The cache policy holding the observation history.
+    n_measurements:
+        Number of sensing elements per node (1 in all paper experiments).
+    """
+
+    def __init__(self, policy: CachePolicy, n_measurements: int = 1) -> None:
+        if n_measurements < 1:
+            raise ValueError(f"n_measurements must be >= 1, got {n_measurements}")
+        self.policy = policy
+        self.n_measurements = n_measurements
+
+    def _key(self, neighbor_id: int, measurement_id: int) -> int:
+        if not 0 <= measurement_id < self.n_measurements:
+            raise ValueError(
+                f"measurement_id {measurement_id} out of range "
+                f"[0, {self.n_measurements})"
+            )
+        return neighbor_id * self.n_measurements + measurement_id
+
+    def record(
+        self,
+        neighbor_id: int,
+        own_value: float,
+        neighbor_value: float,
+        measurement_id: int = 0,
+    ) -> str:
+        """Feed a synchronized observation to the cache; returns the action."""
+        return self.policy.observe(
+            self._key(neighbor_id, measurement_id), own_value, neighbor_value
+        )
+
+    def model(
+        self, neighbor_id: int, measurement_id: int = 0
+    ) -> Optional[LinearModel]:
+        """Current model of the neighbor's measurement, or ``None``."""
+        return self.policy.model(self._key(neighbor_id, measurement_id))
+
+    def estimate(
+        self, neighbor_id: int, own_value: float, measurement_id: int = 0
+    ) -> Optional[float]:
+        """``x̂_j`` from our measurement, or ``None`` without a model."""
+        return self.policy.estimate(self._key(neighbor_id, measurement_id), own_value)
+
+    def can_represent(
+        self,
+        neighbor_id: int,
+        neighbor_value: float,
+        own_value: float,
+        metric: ErrorMetric,
+        threshold: float,
+        measurement_id: int = 0,
+    ) -> bool:
+        """The §3 representability test ``d(x_j, x̂_j) <= T``.
+
+        Returns ``False`` when no model exists — a node cannot offer to
+        represent a neighbor it has never modeled.
+        """
+        estimate = self.estimate(neighbor_id, own_value, measurement_id)
+        if estimate is None:
+            return False
+        return metric.within(neighbor_value, estimate, threshold)
+
+    def known_neighbors(self, measurement_id: int = 0) -> list[int]:
+        """Neighbors with history for ``measurement_id``, ascending id."""
+        return sorted(
+            key // self.n_measurements
+            for key in self.policy.known_neighbors()
+            if key % self.n_measurements == measurement_id
+        )
+
+    def forget(self, neighbor_id: int) -> None:
+        """Drop all measurements' history for ``neighbor_id``."""
+        for measurement_id in range(self.n_measurements):
+            self.policy.forget(self._key(neighbor_id, measurement_id))

@@ -1,0 +1,117 @@
+"""Error metrics ``d(x, x̂)`` (§3 of the paper).
+
+A node ``N_i`` can *represent* ``N_j`` when ``d(x_j, x̂_j) <= T`` for the
+application-supplied metric ``d`` and threshold ``T``.  The paper lists
+three common choices, all implemented here:
+
+* relative error ``|x - x̂| / max(s, |x|)`` with sanity bound ``s > 0``
+  for the ``x = 0`` case;
+* absolute error ``|x - x̂|``;
+* sum-squared error ``(x - x̂)^2`` — the metric all experiments use.
+
+Metrics are small frozen callables so they can be handed to the
+election protocol, the cache manager and the query layer alike.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+__all__ = [
+    "ErrorMetric",
+    "SumSquaredError",
+    "AbsoluteError",
+    "RelativeError",
+    "metric_by_name",
+]
+
+
+class ErrorMetric(abc.ABC):
+    """A distance between an actual value and its estimate."""
+
+    @abc.abstractmethod
+    def __call__(self, actual: float, estimate: float) -> float:
+        """The error of ``estimate`` with respect to ``actual`` (>= 0)."""
+
+    def within(self, actual: float, estimate: float, threshold: float) -> bool:
+        """The representability test ``d(x, x̂) <= T``."""
+        return self(actual, estimate) <= threshold
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Registry name of the metric."""
+
+
+@dataclass(frozen=True)
+class SumSquaredError(ErrorMetric):
+    """``d(x, x̂) = (x - x̂)^2`` — the paper's default metric."""
+
+    def __call__(self, actual: float, estimate: float) -> float:
+        diff = actual - estimate
+        return diff * diff
+
+    @property
+    def name(self) -> str:
+        return "sse"
+
+
+@dataclass(frozen=True)
+class AbsoluteError(ErrorMetric):
+    """``d(x, x̂) = |x - x̂|``."""
+
+    def __call__(self, actual: float, estimate: float) -> float:
+        return abs(actual - estimate)
+
+    @property
+    def name(self) -> str:
+        return "absolute"
+
+
+@dataclass(frozen=True)
+class RelativeError(ErrorMetric):
+    """``d(x, x̂) = |x - x̂| / max(s, |x|)`` with sanity bound ``s``.
+
+    The sanity bound keeps the metric finite when the actual value is
+    zero (paper §3, choice (i)).
+    """
+
+    sanity_bound: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.sanity_bound <= 0:
+            raise ValueError(
+                f"sanity bound must be positive, got {self.sanity_bound}"
+            )
+
+    def __call__(self, actual: float, estimate: float) -> float:
+        return abs(actual - estimate) / max(self.sanity_bound, abs(actual))
+
+    @property
+    def name(self) -> str:
+        return "relative"
+
+
+_REGISTRY = {
+    "sse": SumSquaredError,
+    "absolute": AbsoluteError,
+    "relative": RelativeError,
+}
+
+
+def metric_by_name(name: str, **kwargs: float) -> ErrorMetric:
+    """Construct a metric from its registry name.
+
+    >>> metric_by_name("sse")(3.0, 1.0)
+    4.0
+    >>> metric_by_name("relative", sanity_bound=0.5)(0.0, 1.0)
+    2.0
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown metric {name!r}; expected one of {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,118 @@
+"""Common interface of cache-management policies.
+
+Two policies implement it: the paper's model-aware manager
+(:class:`~repro.models.cache_manager.ModelAwareCache`) and the
+round-robin/FIFO baseline it is compared against in Figure 8
+(:class:`~repro.models.round_robin.RoundRobinCache`).
+
+A policy owns the whole per-node cache — all cache lines — under a
+fixed byte budget, and exposes:
+
+* ``observe(j, x_i, x_j)`` — offer a fresh synchronized observation;
+  the policy decides admission/eviction and reports the action taken;
+* ``model(j)`` / ``estimate(j, x_i)`` — the current model for neighbor
+  ``j`` and the estimate ``x̂_j`` it yields.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.models.cache import CacheLine, pairs_for_budget
+from repro.models.regression import LinearModel
+
+__all__ = ["CachePolicy", "Action"]
+
+
+class Action:
+    """Outcomes of :meth:`CachePolicy.observe` (for tests and traces)."""
+
+    APPEND = "append"       #: cache not full; stored directly
+    SHIFT = "shift"         #: replaced the line's own oldest pair
+    AUGMENT = "augment"     #: grew the line, evicting from another line
+    REJECT = "reject"       #: new observation discarded
+    NEWCOMER = "newcomer"   #: first pair for this neighbor; round-robin victim
+
+    ALL = (APPEND, SHIFT, AUGMENT, REJECT, NEWCOMER)
+
+
+class CachePolicy(abc.ABC):
+    """A byte-budgeted collection of per-neighbor cache lines.
+
+    Parameters
+    ----------
+    cache_bytes:
+        Total budget; the paper sweeps 200 bytes – 4 KB (Figure 8) and
+        defaults to 2,048 bytes elsewhere.
+    """
+
+    def __init__(self, cache_bytes: int) -> None:
+        self.cache_bytes = int(cache_bytes)
+        self.capacity_pairs = pairs_for_budget(self.cache_bytes)
+        self._lines: dict[int, CacheLine] = {}
+
+    # -- shared read side ----------------------------------------------------
+
+    @property
+    def total_pairs(self) -> int:
+        """Pairs currently stored across all lines."""
+        return sum(len(line) for line in self._lines.values())
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the budget is exhausted."""
+        return self.total_pairs >= self.capacity_pairs
+
+    def known_neighbors(self) -> list[int]:
+        """Neighbors with at least one stored pair, ascending id."""
+        return sorted(j for j, line in self._lines.items() if len(line) > 0)
+
+    def line(self, neighbor_id: int) -> Optional[CacheLine]:
+        """The cache line for ``neighbor_id``, or ``None``."""
+        return self._lines.get(neighbor_id)
+
+    def model(self, neighbor_id: int) -> Optional[LinearModel]:
+        """Current model for ``neighbor_id``, or ``None`` if no history."""
+        line = self._lines.get(neighbor_id)
+        if line is None or len(line) == 0:
+            return None
+        return line.model()
+
+    def estimate(self, neighbor_id: int, own_value: float) -> Optional[float]:
+        """Estimate ``x̂_j`` from our measurement, or ``None`` if unmodeled."""
+        model = self.model(neighbor_id)
+        if model is None:
+            return None
+        return model.predict(own_value)
+
+    def forget(self, neighbor_id: int) -> None:
+        """Drop all history for ``neighbor_id`` (e.g. a departed node)."""
+        self._lines.pop(neighbor_id, None)
+
+    # -- write side ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def observe(self, neighbor_id: int, own_value: float, neighbor_value: float) -> str:
+        """Offer a synchronized observation; returns the :class:`Action` taken."""
+
+    # -- internal helpers ------------------------------------------------------
+
+    def _line_or_new(self, neighbor_id: int) -> CacheLine:
+        line = self._lines.get(neighbor_id)
+        if line is None:
+            line = CacheLine(neighbor_id)
+            self._lines[neighbor_id] = line
+        return line
+
+    def _evict_oldest_of(self, neighbor_id: int) -> None:
+        """Evict the oldest pair of ``neighbor_id``'s line, dropping it if emptied."""
+        line = self._lines[neighbor_id]
+        line.evict_oldest()
+        if len(line) == 0:
+            del self._lines[neighbor_id]
+
+    def _check_capacity_invariant(self) -> None:
+        assert self.total_pairs <= self.capacity_pairs, (
+            f"cache over budget: {self.total_pairs} > {self.capacity_pairs}"
+        )

@@ -1,0 +1,116 @@
+"""Least-squares line fitting (Lemma 1 of the paper).
+
+A node models its neighbor's measurement as a linear projection of its
+own: ``x̂_j(t) = a_ij * x_i(t) + b_ij``.  Given ``n`` cached pairs
+``(x_i(t_k), x_j(t_k))`` the sse-optimal parameters are the classic
+least-squares regression line:
+
+    a* = (n * Σ x y - Σ x * Σ y) / (n * Σ x² - (Σ x)²)
+    b* = (Σ y - a* Σ x) / n
+
+with the degenerate case — constant ``x_i`` (which subsumes ``n = 1``)
+— handled as ``a* = 0``, ``b* = mean(x_j)`` exactly as the paper
+specifies.
+
+Everything operates on plain pair sequences; the functions are the
+computational kernel of the cache manager's benefit bookkeeping, so
+they are written to run in a single pass (linear time, as §4 requires).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["LinearModel", "fit_line", "sse_of_model", "mean_sse_of_model", "no_answer_sse"]
+
+#: Relative tolerance for declaring the regression denominator degenerate.
+_DEGENERATE_RTOL = 1e-12
+
+
+@dataclass(frozen=True)
+class LinearModel:
+    """The fitted projection ``x̂_j = slope * x_i + intercept``."""
+
+    slope: float
+    intercept: float
+
+    def predict(self, x: float) -> float:
+        """Estimate the neighbor's value from our own measurement ``x``."""
+        return self.slope * x + self.intercept
+
+    def __iter__(self):
+        """Unpacking support: ``a, b = model``."""
+        yield self.slope
+        yield self.intercept
+
+
+def fit_line(pairs: Sequence[tuple[float, float]]) -> LinearModel:
+    """Fit the sse-optimal line through ``pairs`` (Lemma 1).
+
+    Parameters
+    ----------
+    pairs:
+        Non-empty sequence of ``(x_i, x_j)`` observations.
+
+    Raises
+    ------
+    ValueError
+        If ``pairs`` is empty — an empty cache line has no model.
+    """
+    n = len(pairs)
+    if n == 0:
+        raise ValueError("cannot fit a model to an empty cache line")
+    sum_x = sum_y = sum_xx = sum_xy = 0.0
+    for x, y in pairs:
+        sum_x += x
+        sum_y += y
+        sum_xx += x * x
+        sum_xy += x * y
+    denominator = n * sum_xx - sum_x * sum_x
+    # Constant x (includes n == 1): slope 0, intercept = mean of x_j.
+    if abs(denominator) <= _DEGENERATE_RTOL * max(1.0, n * sum_xx, sum_x * sum_x):
+        return LinearModel(slope=0.0, intercept=sum_y / n)
+    slope = (n * sum_xy - sum_x * sum_y) / denominator
+    intercept = (sum_y - slope * sum_x) / n
+    return LinearModel(slope=slope, intercept=intercept)
+
+
+def sse_of_model(
+    pairs: Iterable[tuple[float, float]], model: LinearModel
+) -> float:
+    """Total squared error of ``model`` over ``pairs``."""
+    total = 0.0
+    for x, y in pairs:
+        residual = y - model.predict(x)
+        total += residual * residual
+    return total
+
+
+def mean_sse_of_model(
+    pairs: Sequence[tuple[float, float]], model: LinearModel
+) -> float:
+    """Average squared error of ``model`` over ``pairs`` (§4's ``sse(c,a,b)``).
+
+    Raises
+    ------
+    ValueError
+        If ``pairs`` is empty.
+    """
+    n = len(pairs)
+    if n == 0:
+        raise ValueError("average sse over an empty cache line is undefined")
+    return sse_of_model(pairs, model) / n
+
+
+def no_answer_sse(pairs: Sequence[tuple[float, float]]) -> float:
+    """Average squared error of refusing to answer (§4's ``no_answer_sse``).
+
+    If no model were available the node could not estimate ``x_j`` at
+    all; the paper charges ``x_j²`` per observation for that — i.e. the
+    implicit estimate is zero.
+    """
+    n = len(pairs)
+    if n == 0:
+        raise ValueError("no-answer sse over an empty cache line is undefined")
+    return sum(y * y for _, y in pairs) / n

@@ -1,0 +1,73 @@
+"""Network substrate: placement, radio, messages, link models, counters.
+
+Models the paper's simulated sensor network: nodes on the unit square
+with a unit-disk radio of configurable transmission range, a broadcast
+medium with per-link Bernoulli message loss (``P_loss``), asymmetric
+neighbor relations, and full per-node message accounting.
+"""
+
+from repro.network.links import (
+    PERFECT_LINKS,
+    DistanceLoss,
+    GlobalLoss,
+    LossModel,
+    PerLinkLoss,
+)
+from repro.network.messages import (
+    Accept,
+    AckRepresenting,
+    AggregateReport,
+    CandidateList,
+    DataReport,
+    Heartbeat,
+    HeartbeatReply,
+    Invitation,
+    Message,
+    PROTOCOL_MESSAGE_TYPES,
+    QueryRequest,
+    Recall,
+    Resign,
+    StayActive,
+)
+from repro.network.mobility import (
+    GaussianDrift,
+    MobilityModel,
+    RandomWaypoint,
+    apply_mobility,
+)
+from repro.network.node import NetworkNode
+from repro.network.radio import Radio
+from repro.network.stats import MessageStats
+from repro.network.topology import Topology, grid_topology, uniform_random_topology
+
+__all__ = [
+    "Accept",
+    "AckRepresenting",
+    "AggregateReport",
+    "CandidateList",
+    "DataReport",
+    "DistanceLoss",
+    "GaussianDrift",
+    "GlobalLoss",
+    "Heartbeat",
+    "HeartbeatReply",
+    "Invitation",
+    "LossModel",
+    "Message",
+    "MessageStats",
+    "MobilityModel",
+    "NetworkNode",
+    "PERFECT_LINKS",
+    "PROTOCOL_MESSAGE_TYPES",
+    "PerLinkLoss",
+    "QueryRequest",
+    "Radio",
+    "RandomWaypoint",
+    "Recall",
+    "Resign",
+    "StayActive",
+    "Topology",
+    "apply_mobility",
+    "grid_topology",
+    "uniform_random_topology",
+]

@@ -1,0 +1,120 @@
+"""Link-quality models.
+
+The paper's simulator exposes "the probability of a link failure" as a
+knob (§6) and sweeps a global message-loss probability ``P_loss`` in
+Figures 7 and 13.  Loss models decide, per transmission and per
+receiver, whether a message is delivered; the decision is independent
+across receivers of the same broadcast, which is how collisions and
+fading are abstracted.
+
+Besides the global Bernoulli model the paper uses, we provide per-link
+overrides (for modelling obstacles — the paper's §3 example of a node
+never hearing another due to "an obstacle in their direct path") and a
+distance-proportional model for softer degradation studies.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping
+
+import numpy as np
+
+from repro.network.topology import Topology
+
+__all__ = ["LossModel", "GlobalLoss", "PerLinkLoss", "DistanceLoss", "PERFECT_LINKS"]
+
+
+class LossModel(abc.ABC):
+    """Decides whether a transmission from ``sender`` reaches ``receiver``."""
+
+    @abc.abstractmethod
+    def loss_probability(self, sender: int, receiver: int) -> float:
+        """Probability in ``[0, 1]`` that this directed link drops a message."""
+
+    def delivered(self, sender: int, receiver: int, rng: np.random.Generator) -> bool:
+        """Sample one delivery outcome for this directed link."""
+        p = self.loss_probability(sender, receiver)
+        if p <= 0.0:
+            return True
+        if p >= 1.0:
+            return False
+        return rng.random() >= p
+
+
+class GlobalLoss(LossModel):
+    """Uniform loss probability ``P_loss`` on every link (paper's model)."""
+
+    def __init__(self, probability: float = 0.0) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"loss probability must be in [0,1], got {probability}")
+        self.probability = float(probability)
+
+    def loss_probability(self, sender: int, receiver: int) -> float:
+        return self.probability
+
+    def __repr__(self) -> str:
+        return f"GlobalLoss({self.probability})"
+
+
+class PerLinkLoss(LossModel):
+    """Per-directed-link overrides on top of a base probability.
+
+    Setting a link's probability to 1.0 models a permanent obstacle on
+    that directed path.
+    """
+
+    def __init__(
+        self,
+        base: float = 0.0,
+        overrides: Mapping[tuple[int, int], float] | None = None,
+    ) -> None:
+        if not 0.0 <= base <= 1.0:
+            raise ValueError(f"base loss probability must be in [0,1], got {base}")
+        self.base = float(base)
+        self.overrides: dict[tuple[int, int], float] = {}
+        for link, p in (overrides or {}).items():
+            self.set_link(link[0], link[1], p)
+
+    def set_link(self, sender: int, receiver: int, probability: float) -> None:
+        """Override the loss probability of the directed link."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"loss probability must be in [0,1], got {probability}")
+        self.overrides[(sender, receiver)] = float(probability)
+
+    def block_link(self, sender: int, receiver: int) -> None:
+        """Model an obstacle: the directed link never delivers."""
+        self.set_link(sender, receiver, 1.0)
+
+    def loss_probability(self, sender: int, receiver: int) -> float:
+        return self.overrides.get((sender, receiver), self.base)
+
+
+class DistanceLoss(LossModel):
+    """Loss grows linearly with distance up to the sender's range.
+
+    At distance 0 the loss is ``floor``; at the sender's full range it is
+    ``ceiling``.  Links beyond range never deliver (the radio layer also
+    enforces this, but the model is self-consistent).
+    """
+
+    def __init__(self, topology: Topology, floor: float = 0.0, ceiling: float = 0.9) -> None:
+        if not 0.0 <= floor <= ceiling <= 1.0:
+            raise ValueError(
+                f"need 0 <= floor <= ceiling <= 1, got floor={floor} ceiling={ceiling}"
+            )
+        self._topology = topology
+        self.floor = float(floor)
+        self.ceiling = float(ceiling)
+
+    def loss_probability(self, sender: int, receiver: int) -> float:
+        reach = self._topology.range_of(sender)
+        distance = self._topology.distance(sender, receiver)
+        if distance > reach:
+            return 1.0
+        fraction = distance / reach if reach > 0 else 1.0
+        return self.floor + (self.ceiling - self.floor) * fraction
+
+
+#: Shared lossless model for the paper's ``P_loss = 0`` configurations.
+PERFECT_LINKS = GlobalLoss(0.0)

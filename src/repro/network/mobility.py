@@ -1,0 +1,149 @@
+"""Node mobility models.
+
+The network snapshot is explicitly "a result of both data dynamics ...
+as well as network dynamics (node failures, changes in connectivity
+among nodes due to mobility, environmental conditions etc)" (§2).  This
+module supplies the mobility half: models that evolve node positions
+over time, and the glue that periodically rebuilds the topology so the
+radio's neighbor sets track the motion.
+
+:class:`RandomWaypoint` is the classic ad-hoc-network model: each node
+picks a uniform random waypoint, travels toward it at its speed, pauses,
+and repeats.  :class:`GaussianDrift` is a gentler alternative for
+"environmental" connectivity jitter.  Both confine nodes to the unit
+square.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from repro.network.topology import Topology
+
+__all__ = ["MobilityModel", "RandomWaypoint", "GaussianDrift", "apply_mobility"]
+
+
+class MobilityModel(abc.ABC):
+    """Evolves a set of positions over simulated time."""
+
+    @abc.abstractmethod
+    def step(
+        self,
+        positions: list[tuple[float, float]],
+        dt: float,
+        rng: np.random.Generator,
+    ) -> list[tuple[float, float]]:
+        """New positions after ``dt`` time units."""
+
+
+class RandomWaypoint(MobilityModel):
+    """The random-waypoint model on the unit square.
+
+    Parameters
+    ----------
+    speed:
+        Travel speed in distance units per time unit.
+    pause:
+        Pause duration at each waypoint, in time units.
+    """
+
+    def __init__(self, speed: float = 0.01, pause: float = 0.0) -> None:
+        if speed <= 0:
+            raise ValueError(f"speed must be positive, got {speed}")
+        if pause < 0:
+            raise ValueError(f"pause must be non-negative, got {pause}")
+        self.speed = speed
+        self.pause = pause
+        self._waypoints: dict[int, tuple[float, float]] = {}
+        self._pausing: dict[int, float] = {}
+
+    def step(self, positions, dt, rng):
+        new_positions = []
+        for index, (x, y) in enumerate(positions):
+            remaining = dt
+            while remaining > 0:
+                pause_left = self._pausing.get(index, 0.0)
+                if pause_left > 0:
+                    waited = min(pause_left, remaining)
+                    self._pausing[index] = pause_left - waited
+                    remaining -= waited
+                    continue
+                waypoint = self._waypoints.get(index)
+                if waypoint is None:
+                    waypoint = (float(rng.random()), float(rng.random()))
+                    self._waypoints[index] = waypoint
+                distance = math.hypot(waypoint[0] - x, waypoint[1] - y)
+                travel = self.speed * remaining
+                if travel >= distance:
+                    # arrive, start pausing, pick a new waypoint next time
+                    x, y = waypoint
+                    consumed = distance / self.speed if self.speed > 0 else remaining
+                    remaining -= consumed
+                    del self._waypoints[index]
+                    self._pausing[index] = self.pause
+                else:
+                    fraction = travel / distance if distance > 0 else 0.0
+                    x += (waypoint[0] - x) * fraction
+                    y += (waypoint[1] - y) * fraction
+                    remaining = 0.0
+            new_positions.append((x, y))
+        return new_positions
+
+
+class GaussianDrift(MobilityModel):
+    """Independent Gaussian position jitter, reflected at the borders.
+
+    Models slow environmental drift (vegetation, small displacements)
+    rather than purposeful motion.
+    """
+
+    def __init__(self, sigma_per_unit_time: float = 0.005) -> None:
+        if sigma_per_unit_time <= 0:
+            raise ValueError(
+                f"sigma must be positive, got {sigma_per_unit_time}"
+            )
+        self.sigma = sigma_per_unit_time
+
+    def step(self, positions, dt, rng):
+        scale = self.sigma * math.sqrt(dt)
+        array = np.asarray(positions, dtype=float)
+        array = array + rng.normal(0.0, scale, size=array.shape)
+        # reflect into [0, 1)
+        array = np.abs(array)
+        array = np.where(array > 1.0, 2.0 - array, array)
+        array = np.clip(array, 0.0, 0.999999)
+        return [(float(x), float(y)) for x, y in array]
+
+
+def apply_mobility(runtime, model: MobilityModel, period: float = 10.0):
+    """Arm periodic mobility on a :class:`~repro.core.SnapshotRuntime`.
+
+    Every ``period`` time units the model advances all positions, a new
+    :class:`Topology` replaces the radio's (recomputing neighbor sets),
+    and each protocol node's own location is refreshed.  Locations a
+    representative learned from old Accept messages intentionally stay
+    stale — that is the paper's reality, and the maintenance protocol's
+    job to repair.
+
+    Returns the periodic task handle (``.stop()`` to freeze motion).
+    """
+    rng = runtime.simulator.random.stream("mobility")
+
+    def move() -> None:
+        topology = runtime.radio.topology
+        positions = [topology.position(node) for node in topology.node_ids]
+        new_positions = model.step(positions, period, rng)
+        ranges = [topology.range_of(node) for node in topology.node_ids]
+        new_topology = Topology(new_positions, ranges)
+        runtime.radio.topology = new_topology
+        runtime.topology = new_topology
+        for node_id, node in runtime.nodes.items():
+            node.location = new_topology.position(node_id)
+        runtime.simulator.trace.emit(
+            runtime.simulator.now, "mobility.step", period=period
+        )
+
+    return runtime.simulator.every(period, move, label="mobility")

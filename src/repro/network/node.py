@@ -1,0 +1,69 @@
+"""The physical sensor node.
+
+:class:`NetworkNode` is the *device*: an id, a battery, and a set of
+attached message handlers.  All protocol intelligence (model management,
+election, query processing) lives in higher layers that attach handlers;
+the device merely hands every delivered message to them, flagging
+whether the node was the intended target or merely *overheard* a
+transmission on the shared medium — the paper's model-building snoops
+on exactly such overheard traffic (§3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.energy.battery import Battery
+from repro.network.messages import Message
+
+__all__ = ["NetworkNode", "MessageHandler"]
+
+#: A message handler receives ``(message, overheard)``.
+MessageHandler = Callable[[Message, bool], None]
+
+
+class NetworkNode:
+    """A sensor device: identity, battery, and message dispatch.
+
+    Parameters
+    ----------
+    node_id:
+        The node's unique id (the paper suggests the MAC address; we use
+        the topology index).
+    battery:
+        Energy reserve; defaults to an infinite battery, which is what
+        the sensitivity experiments (§6.1) assume.
+    """
+
+    def __init__(self, node_id: int, battery: Optional[Battery] = None) -> None:
+        self.node_id = node_id
+        self.battery = battery if battery is not None else Battery(None)
+        self._handlers: list[MessageHandler] = []
+
+    @property
+    def alive(self) -> bool:
+        """A node is alive while its battery holds charge."""
+        return not self.battery.depleted
+
+    def attach(self, handler: MessageHandler) -> None:
+        """Register a handler for every future delivery to this node."""
+        self._handlers.append(handler)
+
+    def detach(self, handler: MessageHandler) -> None:
+        """Remove a previously attached handler."""
+        self._handlers.remove(handler)
+
+    def deliver(self, message: Message, overheard: bool = False) -> None:
+        """Dispatch a delivered message to all attached handlers.
+
+        Dead nodes receive nothing; the radio also filters, but the
+        guard here keeps the invariant local.
+        """
+        if not self.alive:
+            return
+        for handler in list(self._handlers):
+            handler(message, overheard)
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return f"NetworkNode(id={self.node_id}, {state}, {self.battery!r})"

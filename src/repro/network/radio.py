@@ -1,0 +1,198 @@
+"""The shared radio medium.
+
+Transmissions are broadcasts over a unit-disk neighborhood: every alive
+node within the sender's transmission range is a potential receiver, and
+each receiver independently loses the message with the link's loss
+probability (the paper's ``P_loss``).  A *unicast* is a broadcast with a
+designated target — non-target receivers get the message flagged as
+``overheard``, which is what feeds the snooping-based model building of
+§3 ("snooping ... values broadcast by its neighbor node in response to
+a query").
+
+Energy: the sender pays the transmit cost once per transmission (not per
+receiver), receivers pay the receive cost (zero in the paper's
+accounting), and both are booked in the :class:`~repro.energy.EnergyLedger`.
+Deliveries are scheduled ``latency`` time units after the send, so
+same-instant protocol steps observe a consistent global order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.energy.accounting import EnergyLedger
+from repro.energy.costs import PAPER_COST_MODEL, EnergyCostModel
+from repro.network.links import PERFECT_LINKS, LossModel
+from repro.network.messages import Message
+from repro.network.node import NetworkNode
+from repro.network.stats import MessageStats
+from repro.network.topology import Topology
+from repro.simulation.engine import Simulator
+
+__all__ = ["Radio"]
+
+#: Event priority for message deliveries — they fire before timers
+#: scheduled at the same instant, so protocol timeouts observe all
+#: traffic that "already happened".
+DELIVERY_PRIORITY = -1
+
+
+class Radio:
+    """Broadcast medium connecting :class:`NetworkNode` devices.
+
+    Parameters
+    ----------
+    simulator:
+        The discrete-event engine; deliveries are scheduled on it.
+    topology:
+        Placement and transmission ranges (decides who can hear whom).
+    loss_model:
+        Per-link Bernoulli loss; defaults to lossless.
+    cost_model:
+        Energy prices for transmit/receive.
+    stats:
+        Optional message counters (created if omitted).
+    ledger:
+        Optional energy ledger (created if omitted).
+    latency:
+        Propagation delay between send and delivery, in time units.
+        Must be small relative to protocol phase spacing.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        topology: Topology,
+        loss_model: LossModel = PERFECT_LINKS,
+        cost_model: EnergyCostModel = PAPER_COST_MODEL,
+        stats: Optional[MessageStats] = None,
+        ledger: Optional[EnergyLedger] = None,
+        latency: float = 0.001,
+    ) -> None:
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency}")
+        self.simulator = simulator
+        self.topology = topology
+        self.loss_model = loss_model
+        self.cost_model = cost_model
+        self.stats = stats if stats is not None else MessageStats()
+        self.ledger = ledger if ledger is not None else EnergyLedger()
+        self.latency = latency
+        self._nodes: dict[int, NetworkNode] = {}
+        self._rng = simulator.random.stream("radio")
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, node: NetworkNode) -> NetworkNode:
+        """Attach a device to the medium (one per topology id)."""
+        if node.node_id in self._nodes:
+            raise ValueError(f"node {node.node_id} already registered")
+        if node.node_id not in self.topology.node_ids:
+            raise ValueError(f"node {node.node_id} not present in topology")
+        self._nodes[node.node_id] = node
+        return node
+
+    def populate(self, battery_capacity: Optional[float] = None) -> list[NetworkNode]:
+        """Create and register one device per topology node.
+
+        Parameters
+        ----------
+        battery_capacity:
+            Initial charge per node in transmission units, or ``None``
+            for infinite batteries.
+        """
+        from repro.energy.battery import Battery
+
+        nodes = []
+        for node_id in self.topology.node_ids:
+            nodes.append(self.register(NetworkNode(node_id, Battery(battery_capacity))))
+        return nodes
+
+    def node(self, node_id: int) -> NetworkNode:
+        """The registered device with ``node_id``."""
+        return self._nodes[node_id]
+
+    @property
+    def nodes(self) -> dict[int, NetworkNode]:
+        """All registered devices, by id."""
+        return dict(self._nodes)
+
+    def alive_ids(self) -> list[int]:
+        """Ids of devices whose batteries still hold charge."""
+        return [node_id for node_id, node in self._nodes.items() if node.alive]
+
+    # -- transmission ------------------------------------------------------
+
+    def broadcast(self, message: Message) -> bool:
+        """Transmit ``message`` to every node in the sender's range.
+
+        Returns ``False`` (and sends nothing) if the sender is dead.
+        All in-range alive receivers get the message with
+        ``overheard=False`` — a broadcast addresses everyone.
+        """
+        return self._transmit(message, target=None)
+
+    def unicast(self, message: Message, target: int) -> bool:
+        """Transmit ``message`` addressed to ``target``.
+
+        The medium is still broadcast: in-range non-targets receive the
+        message flagged ``overheard=True`` (subject to the same per-link
+        loss), enabling snooping.
+        """
+        if target == message.sender:
+            raise ValueError("a node does not unicast to itself")
+        return self._transmit(message, target=target)
+
+    def _transmit(self, message: Message, target: Optional[int]) -> bool:
+        sender = self._nodes.get(message.sender)
+        if sender is None:
+            raise KeyError(f"unregistered sender {message.sender}")
+        if not sender.alive:
+            return False
+        sender.battery.draw(self.cost_model.transmit)
+        self.ledger.record(sender.node_id, "transmit", self.cost_model.transmit)
+        self.stats.record_sent(message)
+        self.simulator.trace.emit(
+            self.simulator.now, "message.sent",
+            sender=message.sender, message_kind=message.kind, target=target,
+        )
+        for receiver_id in self.topology.out_neighbors(message.sender):
+            receiver = self._nodes.get(receiver_id)
+            if receiver is None or not receiver.alive:
+                continue
+            if not self.loss_model.delivered(message.sender, receiver_id, self._rng):
+                self.stats.record_dropped(message)
+                continue
+            overheard = target is not None and receiver_id != target
+            self._schedule_delivery(receiver, message, overheard)
+        return True
+
+    def _schedule_delivery(
+        self, receiver: NetworkNode, message: Message, overheard: bool
+    ) -> None:
+        def deliver() -> None:
+            if not receiver.alive:
+                return
+            receiver.battery.draw(self.cost_model.receive)
+            if self.cost_model.receive > 0:
+                self.ledger.record(receiver.node_id, "receive", self.cost_model.receive)
+            self.stats.record_delivered(receiver.node_id, message)
+            receiver.deliver(message, overheard)
+
+        self.simulator.schedule(
+            self.latency, deliver, label=f"deliver:{message.kind}",
+            priority=DELIVERY_PRIORITY,
+        )
+
+    # -- misc --------------------------------------------------------------
+
+    def charge_cpu(self, node_id: int, multiplier: float = 1.0) -> None:
+        """Charge one cache-maintenance run's CPU cost to ``node_id``."""
+        cost = self.cost_model.cpu_cache_update * multiplier
+        if cost <= 0:
+            return
+        node = self._nodes[node_id]
+        if not node.alive:
+            return
+        node.battery.draw(cost)
+        self.ledger.record(node_id, "cpu", cost)

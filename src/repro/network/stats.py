@@ -1,0 +1,116 @@
+"""Message accounting.
+
+Figure 15 of the paper reports the *average number of messages per node*
+during a snapshot-maintenance update, and Table 2 bounds the election at
+five messages per node (six including the maintenance heartbeat pair).
+:class:`MessageStats` counts every transmission and delivery by node and
+by message kind so those quantities — and the per-phase breakdowns the
+tests assert on — fall out directly.
+
+Counters can be *checkpointed*: ``window()`` returns the counts since
+the previous checkpoint, which is how per-update message costs are
+measured in long maintenance runs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.network.messages import PROTOCOL_MESSAGE_TYPES, Message
+
+__all__ = ["MessageStats"]
+
+_PROTOCOL_KINDS = frozenset(cls.__name__ for cls in PROTOCOL_MESSAGE_TYPES)
+
+
+class MessageStats:
+    """Per-node, per-kind counters of sent and delivered messages."""
+
+    def __init__(self) -> None:
+        self.sent: Counter[tuple[int, str]] = Counter()
+        self.delivered: Counter[tuple[int, str]] = Counter()
+        self.dropped: Counter[str] = Counter()
+        self._sent_checkpoint: Counter[tuple[int, str]] = Counter()
+
+    def record_sent(self, message: Message) -> None:
+        """Count one transmission of ``message`` by its sender."""
+        self.sent[(message.sender, message.kind)] += 1
+
+    def record_delivered(self, receiver: int, message: Message) -> None:
+        """Count one successful delivery of ``message`` to ``receiver``."""
+        self.delivered[(receiver, message.kind)] += 1
+
+    def record_dropped(self, message: Message) -> None:
+        """Count one loss of ``message`` on some link."""
+        self.dropped[message.kind] += 1
+
+    # -- read-side helpers -------------------------------------------------
+
+    def total_sent(self) -> int:
+        """Total transmissions across all nodes and kinds."""
+        return sum(self.sent.values())
+
+    def sent_by_node(self, node_id: int) -> int:
+        """Transmissions performed by ``node_id`` (all kinds)."""
+        return sum(
+            count for (sender, _), count in self.sent.items() if sender == node_id
+        )
+
+    def sent_of_kind(self, kind: str) -> int:
+        """Transmissions of message class name ``kind`` across all nodes."""
+        return sum(count for (_, k), count in self.sent.items() if k == kind)
+
+    def protocol_sent_by_node(self, node_id: int) -> int:
+        """Election/maintenance-protocol transmissions by ``node_id``."""
+        return sum(
+            count
+            for (sender, kind), count in self.sent.items()
+            if sender == node_id and kind in _PROTOCOL_KINDS
+        )
+
+    def protocol_messages_per_node(self, n_nodes: int) -> float:
+        """Average protocol transmissions per node (Figure 15's metric)."""
+        if n_nodes <= 0:
+            raise ValueError(f"need a positive node count, got {n_nodes}")
+        total = sum(
+            count for (_, kind), count in self.sent.items() if kind in _PROTOCOL_KINDS
+        )
+        return total / n_nodes
+
+    def max_protocol_messages_any_node(self) -> int:
+        """Largest protocol transmission count of any single node."""
+        per_node: Counter[int] = Counter()
+        for (sender, kind), count in self.sent.items():
+            if kind in _PROTOCOL_KINDS:
+                per_node[sender] += count
+        return max(per_node.values(), default=0)
+
+    # -- windowing ---------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Mark the current counts; ``window()`` reports deltas from here."""
+        self._sent_checkpoint = Counter(self.sent)
+
+    def window(self) -> Counter[tuple[int, str]]:
+        """Sent-message counts accumulated since the last checkpoint."""
+        delta = Counter(self.sent)
+        delta.subtract(self._sent_checkpoint)
+        return Counter({key: count for key, count in delta.items() if count > 0})
+
+    def window_protocol_per_node(self, n_nodes: int) -> float:
+        """Average protocol messages per node since the last checkpoint."""
+        if n_nodes <= 0:
+            raise ValueError(f"need a positive node count, got {n_nodes}")
+        total = sum(
+            count
+            for (_, kind), count in self.window().items()
+            if kind in _PROTOCOL_KINDS
+        )
+        return total / n_nodes
+
+    def clear(self) -> None:
+        """Reset every counter and checkpoint."""
+        self.sent.clear()
+        self.delivered.clear()
+        self.dropped.clear()
+        self._sent_checkpoint.clear()

@@ -1,0 +1,170 @@
+"""Node placement and connectivity.
+
+The paper deploys ``N`` sensors uniformly at random on the unit square
+``[0,1) x [0,1)`` and uses a unit-disk radio: node ``i`` can transmit to
+``j`` iff their Euclidean distance is at most ``i``'s transmission range.
+Ranges may differ per node, which makes the "can transmit to" relation
+asymmetric — exactly the loose, directional notion of *neighbor* the
+paper adopts (footnote 2).
+
+:class:`Topology` is a value object: placement and ranges are fixed at
+construction; mobility experiments rebuild it.  Neighbor sets are
+pre-computed once, because the election protocol queries them heavily.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Topology", "uniform_random_topology", "grid_topology"]
+
+
+class Topology:
+    """Immutable node placement + transmission ranges on the unit square.
+
+    Parameters
+    ----------
+    positions:
+        Sequence of ``(x, y)`` coordinates; node ids are ``0..N-1``.
+    ranges:
+        Per-node transmission range, or a single float applied to all.
+    """
+
+    def __init__(
+        self,
+        positions: Sequence[tuple[float, float]],
+        ranges: float | Sequence[float],
+    ) -> None:
+        if not positions:
+            raise ValueError("topology requires at least one node")
+        self._positions = [(float(x), float(y)) for x, y in positions]
+        n = len(self._positions)
+        if isinstance(ranges, (int, float)):
+            self._ranges = [float(ranges)] * n
+        else:
+            self._ranges = [float(r) for r in ranges]
+            if len(self._ranges) != n:
+                raise ValueError(
+                    f"{len(self._ranges)} ranges given for {n} nodes"
+                )
+        if any(r <= 0 for r in self._ranges):
+            raise ValueError("transmission ranges must be positive")
+        self._out_neighbors = self._compute_out_neighbors()
+
+    def _compute_out_neighbors(self) -> list[tuple[int, ...]]:
+        """For each sender ``i``, the receivers within ``range(i)``."""
+        coords = np.asarray(self._positions)
+        deltas = coords[:, None, :] - coords[None, :, :]
+        distances = np.sqrt((deltas**2).sum(axis=2))
+        out: list[tuple[int, ...]] = []
+        for i, reach in enumerate(self._ranges):
+            hearers = np.nonzero(distances[i] <= reach)[0]
+            out.append(tuple(int(j) for j in hearers if j != i))
+        return out
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    @property
+    def node_ids(self) -> range:
+        """All node ids, ``0..N-1``."""
+        return range(len(self._positions))
+
+    def position(self, node_id: int) -> tuple[float, float]:
+        """Coordinates of ``node_id``."""
+        return self._positions[node_id]
+
+    def range_of(self, node_id: int) -> float:
+        """Transmission range of ``node_id``."""
+        return self._ranges[node_id]
+
+    def distance(self, a: int, b: int) -> float:
+        """Euclidean distance between nodes ``a`` and ``b``."""
+        (xa, ya), (xb, yb) = self._positions[a], self._positions[b]
+        return math.hypot(xa - xb, ya - yb)
+
+    def out_neighbors(self, sender: int) -> tuple[int, ...]:
+        """Nodes that can *hear* ``sender`` (within ``sender``'s range)."""
+        return self._out_neighbors[sender]
+
+    def in_neighbors(self, receiver: int) -> tuple[int, ...]:
+        """Nodes whose transmissions reach ``receiver``."""
+        return tuple(
+            i for i in self.node_ids
+            if i != receiver and receiver in self._out_neighbors[i]
+        )
+
+    def can_transmit(self, sender: int, receiver: int) -> bool:
+        """Whether ``sender``'s radio reaches ``receiver``."""
+        return sender != receiver and self.distance(sender, receiver) <= self._ranges[sender]
+
+    def is_connected(self, alive: Optional[Iterable[int]] = None) -> bool:
+        """Whether the (bidirectional-link) graph over ``alive`` is connected.
+
+        A link exists when *either* endpoint can reach the other; this is
+        the weakest useful notion and matches the paper's remark that
+        ranges below 0.2 "often result in parts of the network being
+        disconnected".
+        """
+        nodes = list(self.node_ids) if alive is None else sorted(set(alive))
+        if not nodes:
+            return True
+        node_set = set(nodes)
+        seen = {nodes[0]}
+        frontier = [nodes[0]]
+        while frontier:
+            current = frontier.pop()
+            for other in self._out_neighbors[current]:
+                if other in node_set and other not in seen:
+                    seen.add(other)
+                    frontier.append(other)
+            # links where only the other endpoint can transmit to us
+            for other in node_set - seen:
+                if current in self._out_neighbors[other]:
+                    seen.add(other)
+                    frontier.append(other)
+        return seen == node_set
+
+    def nodes_in_rect(
+        self, x_low: float, y_low: float, x_high: float, y_high: float
+    ) -> list[int]:
+        """Ids of nodes inside the axis-aligned rectangle (inclusive)."""
+        return [
+            i
+            for i, (x, y) in enumerate(self._positions)
+            if x_low <= x <= x_high and y_low <= y <= y_high
+        ]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.node_ids)
+
+
+def uniform_random_topology(
+    n: int,
+    transmission_range: float,
+    rng: np.random.Generator,
+) -> Topology:
+    """The paper's deployment: ``n`` nodes uniform on ``[0,1) x [0,1)``."""
+    if n <= 0:
+        raise ValueError(f"need a positive node count, got {n}")
+    positions = [(float(x), float(y)) for x, y in rng.random((n, 2))]
+    return Topology(positions, transmission_range)
+
+
+def grid_topology(side: int, transmission_range: float) -> Topology:
+    """A ``side x side`` regular grid on the unit square (deterministic).
+
+    Useful in tests where exact neighbor sets must be known a priori.
+    """
+    if side <= 0:
+        raise ValueError(f"need a positive grid side, got {side}")
+    step = 1.0 / side
+    positions = [
+        (step / 2 + step * col, step / 2 + step * row)
+        for row in range(side)
+        for col in range(side)
+    ]
+    return Topology(positions, transmission_range)

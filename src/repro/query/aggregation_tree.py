@@ -1,0 +1,154 @@
+"""TAG-style aggregation trees (§6.2).
+
+For each query a *sink* node floods a request through the network; the
+flood induces a tree rooted at the sink (every node's parent is the
+neighbor it first heard the request from), and measurements are
+partially aggregated on their way up — the in-network aggregation of
+Madden et al.'s TAG, which the paper uses verbatim ("using the flooding
+mechanism described in [11] an aggregation tree was formed").
+
+The flood is simulated combinatorially, level by level, with each hop
+subject to the same per-link loss model as the radio: a node joins the
+tree in the first round it hears any re-broadcast.  When several
+same-round parents are heard the tie-break prefers nodes in ``prefer``
+(the §3.1 remark that routing can favor representatives, exercised by
+the routing ablation) and then the smallest id, keeping trees
+deterministic for a given RNG state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import AbstractSet, Iterable, Optional
+
+import numpy as np
+
+from repro.network.links import PERFECT_LINKS, LossModel
+from repro.network.topology import Topology
+
+__all__ = ["AggregationTree"]
+
+
+@dataclass(frozen=True)
+class AggregationTree:
+    """A routing tree rooted at ``sink``.
+
+    Attributes
+    ----------
+    sink:
+        The querying node.
+    parents:
+        ``node -> parent`` for every node that joined the tree (the
+        sink maps to itself).
+    depths:
+        Hop distance from the sink for every member.
+    """
+
+    sink: int
+    parents: dict[int, int]
+    depths: dict[int, int] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        topology: Topology,
+        sink: int,
+        alive: AbstractSet[int],
+        rng: np.random.Generator,
+        loss_model: LossModel = PERFECT_LINKS,
+        prefer: AbstractSet[int] = frozenset(),
+    ) -> "AggregationTree":
+        """Flood from ``sink`` over the alive nodes and derive the tree.
+
+        Parameters
+        ----------
+        topology:
+            Placement and ranges; floods travel over directed radio links.
+        sink:
+            Root of the tree; must be alive.
+        alive:
+            Nodes that can hear and re-broadcast the flood.
+        rng:
+            Samples per-link delivery during the flood.
+        loss_model:
+            The same loss model as the data radio.
+        prefer:
+            Nodes favored as parents when several are heard in the same
+            round (the representative-routing option).
+        """
+        if sink not in alive:
+            raise ValueError(f"sink {sink} is not alive")
+        parents: dict[int, int] = {sink: sink}
+        depths: dict[int, int] = {sink: 0}
+        frontier = [sink]
+        depth = 0
+        while frontier:
+            depth += 1
+            # Collect, for every not-yet-joined node, the parents whose
+            # re-broadcast it heard this round.
+            heard: dict[int, list[int]] = {}
+            for broadcaster in frontier:
+                for receiver in topology.out_neighbors(broadcaster):
+                    if receiver in parents or receiver not in alive:
+                        continue
+                    if loss_model.delivered(broadcaster, receiver, rng):
+                        heard.setdefault(receiver, []).append(broadcaster)
+            next_frontier = []
+            for receiver in sorted(heard):
+                candidates = heard[receiver]
+                chosen = min(
+                    candidates, key=lambda node: (node not in prefer, node)
+                )
+                parents[receiver] = chosen
+                depths[receiver] = depth
+                next_frontier.append(receiver)
+            frontier = next_frontier
+        return cls(sink=sink, parents=parents, depths=depths)
+
+    @property
+    def members(self) -> frozenset[int]:
+        """Every node that joined the tree (heard the query)."""
+        return frozenset(self.parents)
+
+    def parent(self, node: int) -> Optional[int]:
+        """The node's parent, or ``None`` if it never joined."""
+        return self.parents.get(node)
+
+    def path_to_sink(self, node: int) -> list[int]:
+        """Nodes from ``node`` (inclusive) up to the sink (inclusive).
+
+        Raises
+        ------
+        KeyError
+            If ``node`` is not a member of the tree.
+        """
+        if node not in self.parents:
+            raise KeyError(f"node {node} is not in the tree")
+        path = [node]
+        while path[-1] != self.sink:
+            path.append(self.parents[path[-1]])
+        return path
+
+    def routers_for(self, responders: Iterable[int]) -> frozenset[int]:
+        """Non-responding nodes that must forward the responders' data.
+
+        The union of all tree paths from responders to the sink,
+        excluding the responders themselves and the sink.
+        """
+        responder_set = set(responders)
+        routers: set[int] = set()
+        for responder in responder_set:
+            if responder not in self.parents:
+                continue
+            for hop in self.path_to_sink(responder)[1:-1]:
+                routers.add(hop)
+        routers.discard(self.sink)
+        return frozenset(routers - responder_set)
+
+    def subtree_size(self, node: int) -> int:
+        """Number of members whose path to the sink passes through ``node``."""
+        count = 0
+        for member in self.parents:
+            if node in self.path_to_sink(member):
+                count += 1
+        return count

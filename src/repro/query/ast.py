@@ -1,0 +1,143 @@
+"""Query abstract syntax.
+
+The paper's query dialect (§3.1) is a SELECT-FROM-WHERE block over the
+virtual ``sensors`` table, extended with acquisitional clauses in the
+TinyDB style and the new ``USE SNAPSHOT`` directive::
+
+    SELECT loc, temperature
+    FROM sensors
+    WHERE loc IN SOUTH_EAST_QUADRANT
+    SAMPLE INTERVAL 1s FOR 5min
+    USE SNAPSHOT
+
+A query is either *drill-through* (plain projections: a small set of
+nodes reports individual measurements) or *aggregate* (a single
+``SUM``/``AVG``/``MIN``/``MAX``/``COUNT`` over the matching nodes).
+``USE SNAPSHOT`` marks the query answerable by the representative set,
+optionally with its own error threshold (``USE SNAPSHOT WITH ERROR t``,
+the per-query-threshold extension of §3.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.query.spatial import Everywhere, Region
+
+__all__ = ["Aggregate", "Comparison", "ValuePredicate", "Query"]
+
+
+class Aggregate(enum.Enum):
+    """Aggregate functions of the basic query language."""
+
+    SUM = "sum"
+    AVG = "avg"
+    MIN = "min"
+    MAX = "max"
+    COUNT = "count"
+
+
+class Comparison(enum.Enum):
+    """Comparison operators usable in value predicates."""
+
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EQ = "="
+    NE = "!="
+
+    def evaluate(self, left: float, right: float) -> bool:
+        """Apply the operator."""
+        if self is Comparison.LT:
+            return left < right
+        if self is Comparison.LE:
+            return left <= right
+        if self is Comparison.GT:
+            return left > right
+        if self is Comparison.GE:
+            return left >= right
+        if self is Comparison.EQ:
+            return left == right
+        return left != right
+
+
+@dataclass(frozen=True)
+class ValuePredicate:
+    """A measurement filter such as ``temperature > 5``."""
+
+    attribute: str
+    op: Comparison
+    constant: float
+
+    def matches(self, value: float) -> bool:
+        """Whether a measurement satisfies the predicate."""
+        return self.op.evaluate(value, self.constant)
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed (or programmatically built) sensor-network query.
+
+    Attributes
+    ----------
+    select:
+        Projected attributes for drill-through queries (ignored for
+        aggregates).
+    aggregate:
+        Aggregate function, or ``None`` for drill-through.
+    aggregate_attribute:
+        The attribute under the aggregate (e.g. ``temperature``).
+    region:
+        Spatial predicate; defaults to everywhere.
+    value_predicate:
+        Optional measurement filter.
+    sample_interval:
+        Seconds between samples (``SAMPLE INTERVAL``); ``None`` means a
+        one-shot query.
+    duration:
+        Total sampling time in seconds (``FOR``); ``None`` means one round.
+    use_snapshot:
+        Whether the representative set may answer (``USE SNAPSHOT``).
+    snapshot_threshold:
+        Optional per-query error threshold (``WITH ERROR t``).
+    """
+
+    select: tuple[str, ...] = ("loc", "value")
+    aggregate: Optional[Aggregate] = None
+    aggregate_attribute: str = "value"
+    region: Region = field(default_factory=Everywhere)
+    value_predicate: Optional[ValuePredicate] = None
+    sample_interval: Optional[float] = None
+    duration: Optional[float] = None
+    use_snapshot: bool = False
+    snapshot_threshold: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.sample_interval is not None and self.sample_interval <= 0:
+            raise ValueError(
+                f"sample interval must be positive, got {self.sample_interval}"
+            )
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if self.snapshot_threshold is not None:
+            if not self.use_snapshot:
+                raise ValueError("snapshot_threshold requires use_snapshot")
+            if self.snapshot_threshold <= 0:
+                raise ValueError(
+                    f"snapshot threshold must be positive, got {self.snapshot_threshold}"
+                )
+
+    @property
+    def is_aggregate(self) -> bool:
+        """Whether this is an aggregate (vs drill-through) query."""
+        return self.aggregate is not None
+
+    @property
+    def rounds(self) -> int:
+        """Number of sampling rounds implied by the acquisition clauses."""
+        if self.sample_interval is None or self.duration is None:
+            return 1
+        return max(1, int(self.duration / self.sample_interval))

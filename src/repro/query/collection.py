@@ -1,0 +1,248 @@
+"""Message-driven, epoch-slotted TAG collection.
+
+The default executor computes a query's answer centrally and charges
+the radio for the implied messages — exact for lossless runs (all of
+§6's query experiments) and fast.  This module is the fully faithful
+alternative: the answer is assembled *from the messages that actually
+arrive*, using TAG's slotted schedule (Madden et al., the paper's
+[11]):
+
+* nodes are scheduled by tree depth, deepest first;
+* at its slot, a node merges its own readings with the partials its
+  children delivered, and transmits one message to its parent
+  (aggregates) or forwards the buffered report bundles (drill-through);
+* the sink's slot closes the round; whatever never arrived — dropped by
+  ``P_loss``, stranded by a mid-round death — is simply missing from
+  the answer.
+
+Under a lossless radio the result is identical to the central
+computation (asserted by tests); under loss it degrades exactly the way
+a real TAG round does: losing a partial near the root silences a whole
+subtree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.network.messages import AggregateReport, DataReport, Message
+from repro.query.aggregation_tree import AggregationTree
+from repro.query.ast import Aggregate, Query
+
+__all__ = ["TagCollection", "CollectionOutcome"]
+
+
+@dataclass
+class _PartialAggregate:
+    """TAG's mergeable aggregate state (count/sum/min/max covers all five)."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def add_value(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def merge(self, other: "AggregateReport") -> None:
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    def answer(self, aggregate: Aggregate) -> Optional[float]:
+        if aggregate is Aggregate.COUNT:
+            return float(self.count)
+        if self.count == 0:
+            return None
+        if aggregate is Aggregate.SUM:
+            return self.total
+        if aggregate is Aggregate.AVG:
+            return self.total / self.count
+        if aggregate is Aggregate.MIN:
+            return self.minimum
+        return self.maximum
+
+
+@dataclass(frozen=True)
+class CollectionOutcome:
+    """What the sink actually received in one messaged round."""
+
+    delivered_reports: dict[int, tuple[float, bool]]
+    aggregate_value: Optional[float]
+    transmissions: int
+
+
+class TagCollection:
+    """One epoch-slotted collection round over an aggregation tree.
+
+    Parameters
+    ----------
+    runtime:
+        The network; transient receive handlers are attached to its
+        devices for the duration of the round.
+    tree:
+        The routing tree (built by the flood).
+    query:
+        Decides aggregate-vs-drill-through merging.
+    query_id:
+        Tags this round's messages.
+    contributions:
+        ``origin -> (value, estimated)`` per responder — each
+        responder's own bundle, injected at its tree position.
+    responders:
+        The nodes that contribute; every other tree member only relays.
+    slot:
+        Slot width in time units; a node at depth d transmits
+        ``(max_depth - d)`` slots after the round starts.
+    """
+
+    def __init__(
+        self,
+        runtime,
+        tree: AggregationTree,
+        query: Query,
+        query_id: int,
+        contributions: dict[int, dict[int, tuple[float, bool]]],
+        slot: float = 0.05,
+    ) -> None:
+        if slot <= 0:
+            raise ValueError(f"slot must be positive, got {slot}")
+        self.runtime = runtime
+        self.tree = tree
+        self.query = query
+        self.query_id = query_id
+        self.contributions = contributions
+        self.slot = slot
+        self._partials: dict[int, _PartialAggregate] = {}
+        self._buffers: dict[int, dict[int, tuple[float, bool]]] = {}
+        self._handlers: dict[int, object] = {}
+        self._sent = 0
+        self._finished = False
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> CollectionOutcome:
+        """Execute the round; advances the simulator past the sink's slot."""
+        simulator = self.runtime.simulator
+        members = self.tree.members
+        max_depth = max(self.tree.depths[m] for m in members)
+
+        for member in members:
+            self._attach(member)
+            self._buffers[member] = {}
+            self._partials[member] = _PartialAggregate()
+
+        # inject each responder's own contribution at its node
+        for responder, bundle in self.contributions.items():
+            if responder not in members:
+                continue
+            self._buffers[responder].update(bundle)
+            for value, __ in bundle.values():
+                self._partials[responder].add_value(value)
+
+        t0 = simulator.now
+        for member in members:
+            if member == self.tree.sink:
+                continue
+            depth = self.tree.depths[member]
+            fire_at = t0 + (max_depth - depth + 1) * self.slot
+            simulator.schedule_at(
+                fire_at,
+                lambda node=member: self._transmit_slot(node),
+                label=f"tag:{self.query_id}",
+            )
+        # close the round one slot after the depth-1 transmissions land
+        simulator.run_until(t0 + (max_depth + 2) * self.slot)
+        self._finished = True
+        for member in members:
+            self._detach(member)
+
+        sink = self.tree.sink
+        aggregate_value = None
+        if self.query.is_aggregate:
+            assert self.query.aggregate is not None
+            aggregate_value = self._partials[sink].answer(self.query.aggregate)
+        return CollectionOutcome(
+            delivered_reports=dict(self._buffers[sink]),
+            aggregate_value=aggregate_value,
+            transmissions=self._sent,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _transmit_slot(self, node_id: int) -> None:
+        device = self.runtime.radio.node(node_id)
+        if not device.alive:
+            return
+        parent = self.tree.parent(node_id)
+        if parent is None:
+            return
+        if self.query.is_aggregate:
+            partial = self._partials[node_id]
+            if partial.count == 0 and self.query.aggregate is not Aggregate.COUNT:
+                return  # nothing to report; stay silent (TAG suppression)
+            sent = self.runtime.radio.unicast(
+                AggregateReport(
+                    sender=node_id,
+                    query_id=self.query_id,
+                    count=partial.count,
+                    total=partial.total,
+                    minimum=partial.minimum,
+                    maximum=partial.maximum,
+                ),
+                parent,
+            )
+            self._sent += 1 if sent else 0
+        else:
+            for origin, (value, estimated) in sorted(self._buffers[node_id].items()):
+                # the "estimated" flag travels with the report: it marks
+                # model-produced values, not forwarded ones (snooping
+                # already ignores any report whose origin != sender)
+                sent = self.runtime.radio.unicast(
+                    DataReport(
+                        sender=node_id,
+                        query_id=self.query_id,
+                        origin=origin,
+                        value=value,
+                        estimated=estimated,
+                    ),
+                    parent,
+                )
+                self._sent += 1 if sent else 0
+
+    def _attach(self, node_id: int) -> None:
+        def handler(message: Message, overheard: bool) -> None:
+            if self._finished or overheard:
+                return
+            if isinstance(message, AggregateReport):
+                if message.query_id == self.query_id and self._is_child(
+                    message.sender, node_id
+                ):
+                    self._partials[node_id].merge(message)
+            elif isinstance(message, DataReport):
+                if message.query_id == self.query_id and self._is_child(
+                    message.sender, node_id
+                ):
+                    self._buffers[node_id][message.origin] = (
+                        message.value,
+                        message.estimated,
+                    )
+
+        device = self.runtime.radio.node(node_id)
+        device.attach(handler)
+        self._handlers[node_id] = handler
+
+    def _is_child(self, sender: int, receiver: int) -> bool:
+        return self.tree.parent(sender) == receiver
+
+    def _detach(self, node_id: int) -> None:
+        handler = self._handlers.pop(node_id, None)
+        if handler is not None:
+            self.runtime.radio.node(node_id).detach(handler)

@@ -1,0 +1,480 @@
+"""Query execution: regular vs snapshot (§3.1 and §6.2).
+
+The executor runs one query against a :class:`~repro.core.SnapshotRuntime`:
+
+* **regular** — every alive node matching the predicates responds; the
+  answer flows up a TAG aggregation tree; routing nodes forward it;
+* **snapshot** (``USE SNAPSHOT``) — only representatives respond: a
+  node provides measurements when "(i) it is not represented and
+  satisfies the spatial predicate of the query or (ii) it represents
+  another node N_j satisfying the spatial predicate" (§3.1).
+  Representatives answer for their members with model estimates and
+  evaluate the spatial predicate against the member locations learned
+  from the Accept messages.
+
+Participation accounting matches Table 3: a query's participants are
+its responders plus the routing nodes on their tree paths (the paper:
+"a non-representative node may still be used for routing the aggregate
+and this is included in the numbers shown").  Each participant is
+charged one transmission per sampling round — the TAG cost model, and
+exactly the per-query energy drain of Figure 10's setup.  Responder
+reports are sent as real radio messages, so neighbors can snoop them to
+fine-tune their models (the 5% snooping of §6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.runtime import SnapshotRuntime
+from repro.core.status import NodeMode
+from repro.network.messages import AggregateReport, DataReport
+from repro.query.aggregation_tree import AggregationTree
+from repro.query.ast import Aggregate, Query
+
+__all__ = ["QueryExecutor", "QueryResult"]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of one query execution.
+
+    Attributes
+    ----------
+    query:
+        The executed query.
+    sink:
+        The node the answer was collected at.
+    responders:
+        Nodes that produced measurements (their own or their members').
+    routers:
+        Non-responding nodes that forwarded data toward the sink.
+    reports:
+        ``origin -> (value, estimated)`` — one entry per node whose
+        measurement reached the sink; ``estimated`` marks values a
+        representative produced from its model.
+    matching_all:
+        Nodes (alive or dead) whose ground truth satisfies the query —
+        the infinite-battery reference of Figure 10's coverage metric.
+    matching_alive:
+        The alive subset of ``matching_all``.
+    aggregate_value:
+        The aggregate answer, or ``None`` for drill-through queries.
+    rounds:
+        Sampling rounds executed.
+    """
+
+    query: Query
+    sink: int
+    responders: frozenset[int]
+    routers: frozenset[int]
+    reports: dict[int, tuple[float, bool]]
+    matching_all: frozenset[int]
+    matching_alive: frozenset[int]
+    aggregate_value: Optional[float]
+    rounds: int = 1
+
+    @property
+    def participants(self) -> frozenset[int]:
+        """Responders plus routers — Table 3's per-query node count."""
+        return self.responders | self.routers
+
+    @property
+    def n_participants(self) -> int:
+        """Number of distinct nodes the query touched."""
+        return len(self.participants)
+
+    def coverage(self) -> float:
+        """Reported matching nodes over all matching nodes (Figure 10).
+
+        A query matching nothing has perfect coverage by convention.
+        """
+        if not self.matching_all:
+            return 1.0
+        answered = sum(1 for origin in self.reports if origin in self.matching_all)
+        return answered / len(self.matching_all)
+
+
+class QueryExecutor:
+    """Executes queries against a snapshot runtime.
+
+    Parameters
+    ----------
+    runtime:
+        The assembled network.
+    prefer_representative_routing:
+        Route aggregation trees through representatives when possible
+        (the §3.1 routing optimization; off reproduces Table 3's
+        "vanilla method").
+    """
+
+    def __init__(
+        self,
+        runtime: SnapshotRuntime,
+        prefer_representative_routing: bool = False,
+    ) -> None:
+        self.runtime = runtime
+        self.prefer_representative_routing = prefer_representative_routing
+        self._rng = runtime.simulator.random.stream("query")
+        self._query_counter = 0
+
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        query: Query,
+        sink: Optional[int] = None,
+        rounds: Optional[int] = None,
+        charge_energy: bool = True,
+        messaged: bool = False,
+    ) -> QueryResult:
+        """Run ``query`` once and return its result.
+
+        Parameters
+        ----------
+        query:
+            The query; ``query.use_snapshot`` selects the execution mode.
+        sink:
+            Collecting node; a random alive node if omitted (the §6.2
+            setup).
+        rounds:
+            Overrides the sampling rounds implied by the query's
+            acquisition clauses.
+        charge_energy:
+            Whether participants transmit real (energy-charged,
+            snoopable) radio messages; disable for pure what-if counts.
+        messaged:
+            Fully message-driven collection: the answer is assembled at
+            the sink from an epoch-slotted TAG round of real radio
+            messages (see :mod:`repro.query.collection`), so message
+            loss and mid-round deaths remove data from the answer.
+            Identical to the default central computation on a lossless
+            radio.  Implies ``charge_energy``.
+        """
+        runtime = self.runtime
+        alive = set(runtime.alive_ids())
+        if not alive:
+            raise RuntimeError("no alive node can act as sink")
+        if sink is None:
+            sink = int(sorted(alive)[self._rng.integers(0, len(alive))])
+        elif sink not in alive:
+            raise ValueError(f"sink {sink} is not alive")
+        self._check_threshold_reuse(query)
+        self._query_counter += 1
+        query_id = self._query_counter
+        n_rounds = query.rounds if rounds is None else rounds
+        if n_rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {n_rounds}")
+
+        matching_all = frozenset(self._matching_nodes(query, runtime.topology.node_ids))
+        matching_alive = frozenset(node for node in matching_all if node in alive)
+
+        prefer: frozenset[int] = frozenset()
+        if query.use_snapshot and self.prefer_representative_routing:
+            prefer = frozenset(
+                node_id
+                for node_id, node in runtime.nodes.items()
+                if node.mode is not NodeMode.PASSIVE and node.alive
+            )
+        tree = AggregationTree.build(
+            runtime.topology,
+            sink,
+            alive,
+            self._rng,
+            loss_model=runtime.radio.loss_model,
+            prefer=prefer,
+        )
+
+        if query.use_snapshot:
+            bundles = self._snapshot_bundles(query, tree)
+        else:
+            bundles = self._regular_bundles(query, matching_alive, tree)
+        responders = set(bundles)
+        reports: dict[int, tuple[float, bool]] = {}
+        for responder in sorted(bundles):
+            reports.update(bundles[responder])
+        routers = tree.routers_for(responders)
+
+        if messaged:
+            reports, aggregate_value = self._collect_messaged(
+                query, query_id, bundles, tree, n_rounds
+            )
+        else:
+            if charge_energy:
+                self._transmit(
+                    query, query_id, sink, responders, routers, reports, tree, n_rounds
+                )
+            aggregate_value = None
+            if query.is_aggregate:
+                aggregate_value = self._aggregate(query.aggregate, reports)
+
+        result = QueryResult(
+            query=query,
+            sink=sink,
+            responders=frozenset(responders),
+            routers=routers,
+            reports=reports,
+            matching_all=matching_all,
+            matching_alive=matching_alive,
+            aggregate_value=aggregate_value,
+            rounds=n_rounds,
+        )
+        runtime.simulator.trace.emit(
+            runtime.simulator.now, "query.executed",
+            query_id=query_id, snapshot=query.use_snapshot,
+            participants=result.n_participants, coverage=result.coverage(),
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # responder selection
+    # ------------------------------------------------------------------
+
+    def _matching_nodes(self, query: Query, node_ids) -> list[int]:
+        """Ground truth: nodes whose location and value satisfy the query."""
+        runtime = self.runtime
+        matches = []
+        for node_id in node_ids:
+            x, y = runtime.topology.position(node_id)
+            if not query.region.contains(x, y):
+                continue
+            if query.value_predicate is not None and not query.value_predicate.matches(
+                runtime.value_of(node_id)
+            ):
+                continue
+            matches.append(node_id)
+        return matches
+
+    def _regular_bundles(
+        self, query: Query, matching_alive: frozenset[int], tree: AggregationTree
+    ) -> dict[int, dict[int, tuple[float, bool]]]:
+        """Regular execution: every matching alive node reports itself."""
+        return {
+            node: {node: (self.runtime.value_of(node), False)}
+            for node in sorted(matching_alive)
+            if node in tree.members
+        }
+
+    def _snapshot_bundles(
+        self, query: Query, tree: AggregationTree
+    ) -> dict[int, dict[int, tuple[float, bool]]]:
+        """Snapshot execution (§3.1): representatives answer for their sets.
+
+        Returns each responder's bundle — its own matching reading plus
+        model estimates for its matching members.
+        """
+        runtime = self.runtime
+        bundles: dict[int, dict[int, tuple[float, bool]]] = {}
+        for node_id in sorted(runtime.nodes):
+            node = runtime.nodes[node_id]
+            if not node.alive or node_id not in tree.members:
+                continue
+            # PASSIVE nodes do not respond to snapshot queries (§5);
+            # UNDEFINED nodes (mid-re-election) conservatively answer
+            # for themselves.
+            if node.mode is NodeMode.PASSIVE:
+                continue
+            bundle: dict[int, tuple[float, bool]] = {}
+            x, y = node.location
+            if query.region.contains(x, y):
+                own_value = node.value_fn()
+                if query.value_predicate is None or query.value_predicate.matches(
+                    own_value
+                ):
+                    bundle[node_id] = (own_value, False)
+            if node.mode is NodeMode.ACTIVE:
+                for member_id in sorted(node.represented):
+                    location = node.member_location(member_id)
+                    if location is None or not query.region.contains(*location):
+                        continue
+                    estimate = node.estimate_for(member_id)
+                    if estimate is None:
+                        continue
+                    if (
+                        query.value_predicate is not None
+                        and not query.value_predicate.matches(estimate)
+                    ):
+                        continue
+                    bundle[member_id] = (estimate, True)
+            if bundle:
+                bundles[node_id] = bundle
+        return bundles
+
+    def _collect_messaged(
+        self,
+        query: Query,
+        query_id: int,
+        bundles: dict[int, dict[int, tuple[float, bool]]],
+        tree: AggregationTree,
+        n_rounds: int,
+    ) -> tuple[dict[int, tuple[float, bool]], Optional[float]]:
+        """Run ``n_rounds`` epoch-slotted TAG rounds of real messages.
+
+        Returns the reports that reached the sink in the *last* round
+        and the aggregate assembled from its delivered partials.
+        """
+        from repro.query.collection import TagCollection
+
+        delivered: dict[int, tuple[float, bool]] = {}
+        aggregate_value: Optional[float] = None
+        for _ in range(n_rounds):
+            outcome = TagCollection(
+                self.runtime, tree, query, query_id, bundles
+            ).run()
+            delivered = outcome.delivered_reports
+            aggregate_value = outcome.aggregate_value
+        for responder in bundles:
+            node = self.runtime.nodes.get(responder)
+            if node is not None and node.alive:
+                node.check_energy()
+        return delivered, aggregate_value
+
+    # ------------------------------------------------------------------
+    # transmission + aggregation
+    # ------------------------------------------------------------------
+
+    def _transmit(
+        self,
+        query: Query,
+        query_id: int,
+        sink: int,
+        responders: set[int],
+        routers: frozenset[int],
+        reports: dict[int, tuple[float, bool]],
+        tree: AggregationTree,
+        n_rounds: int,
+    ) -> None:
+        """Charge the radio cost of collecting the answers at the sink.
+
+        *Aggregate* queries use the TAG cost model: one partial
+        aggregate per participant per round — routers merge what they
+        forward (§6.2's Table 3 setup).
+
+        *Drill-through* queries cannot merge: each responder's report
+        bundle is forwarded hop-by-hop along its tree path, so the cost
+        of a responder is ``1 + hops`` transmissions per round.  This
+        is what makes regular drill-through execution expensive and
+        snapshot execution (a couple of representative bundles) cheap —
+        the Figure 10 economics.
+
+        Only the first transmission of a node's *own* raw measurement
+        is snoopable; forwarded and estimated reports carry someone
+        else's data and are ignored by the model layer.
+        """
+        radio = self.runtime.radio
+        own_reports = {
+            origin: value
+            for origin, (value, estimated) in reports.items()
+            if not estimated
+        }
+
+        def responder_message(responder: int) -> DataReport:
+            value = own_reports.get(responder)
+            if value is None:
+                # The responder only carries member estimates; the
+                # bundle is flagged estimated so nobody models it.
+                return DataReport(
+                    sender=responder,
+                    query_id=query_id,
+                    origin=responder,
+                    value=0.0,
+                    estimated=True,
+                )
+            return DataReport(
+                sender=responder, query_id=query_id, origin=responder, value=value
+            )
+
+        for _ in range(n_rounds):
+            if query.is_aggregate:
+                for responder in sorted(responders):
+                    parent = tree.parent(responder)
+                    if responder == sink or parent is None:
+                        continue
+                    radio.unicast(responder_message(responder), parent)
+                for router in sorted(routers):
+                    parent = tree.parent(router)
+                    if router == sink or parent is None:
+                        continue
+                    radio.unicast(
+                        AggregateReport(
+                            sender=router,
+                            query_id=query_id,
+                            count=0,
+                            total=0.0,
+                            minimum=0.0,
+                            maximum=0.0,
+                        ),
+                        parent,
+                    )
+            else:
+                for responder in sorted(responders):
+                    if responder == sink or tree.parent(responder) is None:
+                        continue
+                    path = tree.path_to_sink(responder)
+                    radio.unicast(responder_message(responder), path[1])
+                    # every intermediate hop forwards this bundle once
+                    for index, hop in enumerate(path[1:-1], start=1):
+                        radio.unicast(
+                            DataReport(
+                                sender=hop,
+                                query_id=query_id,
+                                origin=responder,
+                                value=own_reports.get(responder, 0.0),
+                                estimated=responder not in own_reports,
+                            ),
+                            path[index + 1],
+                        )
+        # A node knows its own battery after transmitting: give the
+        # responding representatives the chance to run the §5.1
+        # energy hand-off *before* they silently die mid-round.
+        for responder in responders:
+            node = self.runtime.nodes.get(responder)
+            if node is not None and node.alive:
+                node.check_energy()
+        # A node knows its own battery after transmitting: give the
+        # responding representatives the chance to run the §5.1
+        # energy hand-off *before* they silently die mid-round.
+        for responder in responders:
+            node = self.runtime.nodes.get(responder)
+            if node is not None and node.alive:
+                node.check_energy()
+
+    @staticmethod
+    def _aggregate(
+        aggregate: Optional[Aggregate], reports: dict[int, tuple[float, bool]]
+    ) -> Optional[float]:
+        if aggregate is None:
+            return None
+        values = [value for value, _ in reports.values()]
+        if aggregate is Aggregate.COUNT:
+            return float(len(values))
+        if not values:
+            return None
+        if aggregate is Aggregate.SUM:
+            return float(sum(values))
+        if aggregate is Aggregate.AVG:
+            return float(sum(values) / len(values))
+        if aggregate is Aggregate.MIN:
+            return float(min(values))
+        return float(max(values))
+
+    # ------------------------------------------------------------------
+
+    def _check_threshold_reuse(self, query: Query) -> None:
+        """Enforce the §3.1 reuse rule for per-query thresholds.
+
+        The current snapshot was elected at the runtime's threshold
+        ``T``; it can serve any query with threshold ``>= T`` but not a
+        tighter one — that query needs its own election (or a
+        :class:`~repro.core.MultiResolutionSnapshot`).
+        """
+        if not query.use_snapshot or query.snapshot_threshold is None:
+            return
+        if query.snapshot_threshold < self.runtime.config.threshold:
+            raise ValueError(
+                f"query threshold {query.snapshot_threshold} is tighter than "
+                f"the snapshot's election threshold "
+                f"{self.runtime.config.threshold}; re-elect at the tighter "
+                f"threshold or use MultiResolutionSnapshot"
+            )

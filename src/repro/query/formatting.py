@@ -1,0 +1,83 @@
+"""Render a query AST back to the paper's SQL dialect.
+
+``format_query`` is the inverse of
+:func:`~repro.query.parser.parse_query` (up to whitespace and the
+canonical spelling of named regions), which gives the parser a strong
+round-trip property: ``parse(format(q)) == q`` for every representable
+query.  It is also used by logging and the CLI to echo what actually
+ran after the planner rewrote a query.
+"""
+
+from __future__ import annotations
+
+from repro.query.ast import Query
+from repro.query.spatial import Circle, Everywhere, NAMED_REGIONS, Rect, Region
+
+__all__ = ["format_query", "format_region"]
+
+
+def format_region(region: Region) -> str:
+    """Region syntax; named quadrants render by their canonical name."""
+    if isinstance(region, Rect):
+        for name, rect in NAMED_REGIONS.items():
+            if rect == region and "QUANDRANT" not in name:
+                return name
+        return (
+            f"RECT({region.x_low:g}, {region.y_low:g}, "
+            f"{region.x_high:g}, {region.y_high:g})"
+        )
+    if isinstance(region, Circle):
+        return f"CIRCLE({region.cx:g}, {region.cy:g}, {region.radius:g})"
+    if isinstance(region, Everywhere):
+        raise ValueError("the everywhere region has no WHERE syntax; omit it")
+    raise TypeError(f"cannot format region of type {type(region).__name__}")
+
+
+def _format_time(seconds: float) -> str:
+    if seconds % 3600 == 0 and seconds >= 3600:
+        return f"{seconds / 3600:g} hours"
+    if seconds % 60 == 0 and seconds >= 60:
+        return f"{seconds / 60:g} min"
+    return f"{seconds:g}s"
+
+
+def format_query(query: Query) -> str:
+    """Render ``query`` as parseable text.
+
+    >>> from repro.query.parser import parse_query
+    >>> text = ("SELECT SUM(value) FROM sensors "
+    ...         "WHERE loc IN RECT(0, 0, 0.5, 0.5) USE SNAPSHOT")
+    >>> format_query(parse_query(text)) == text
+    True
+    """
+    parts = ["SELECT"]
+    if query.is_aggregate:
+        assert query.aggregate is not None
+        parts.append(f"{query.aggregate.name}({query.aggregate_attribute})")
+    else:
+        parts.append(", ".join(query.select))
+    parts.append("FROM sensors")
+
+    conditions = []
+    if not isinstance(query.region, Everywhere):
+        conditions.append(f"loc IN {format_region(query.region)}")
+    if query.value_predicate is not None:
+        predicate = query.value_predicate
+        conditions.append(
+            f"{predicate.attribute} {predicate.op.value} {predicate.constant:g}"
+        )
+    if conditions:
+        parts.append("WHERE " + " AND ".join(conditions))
+
+    if query.sample_interval is not None and query.duration is not None:
+        parts.append(
+            f"SAMPLE INTERVAL {_format_time(query.sample_interval)} "
+            f"FOR {_format_time(query.duration)}"
+        )
+
+    if query.use_snapshot:
+        parts.append("USE SNAPSHOT")
+        if query.snapshot_threshold is not None:
+            parts.append(f"WITH ERROR {query.snapshot_threshold:g}")
+
+    return " ".join(parts)

@@ -1,0 +1,310 @@
+"""Parser for the paper's declarative query dialect (§3.1).
+
+Grammar (keywords case-insensitive)::
+
+    query     := SELECT selection FROM ident
+                 [WHERE condition (AND condition)*]
+                 [SAMPLE INTERVAL time FOR time]
+                 [USE SNAPSHOT [WITH ERROR number]]
+    selection := aggregate | ident ("," ident)*
+    aggregate := (SUM | AVG | MIN | MAX | COUNT) "(" ident ")"
+    condition := LOC IN region | ident cmp number
+    region    := ident                      -- named, e.g. SOUTH_EAST_QUADRANT
+               | RECT "(" n "," n "," n "," n ")"
+               | CIRCLE "(" n "," n "," n ")"
+    time      := number unit                -- "1s", "5min", "2 hours"
+    cmp       := < | <= | > | >= | = | !=
+
+The acquisitional ``SAMPLE INTERVAL 1sec FOR 5min`` syntax follows the
+paper's example; glued number-unit tokens ("1sec") are handled by the
+tokenizer.  The ``USE SNAPSHOT WITH ERROR t`` extension carries the
+per-query threshold of §3.1.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.query.ast import Aggregate, Comparison, Query, ValuePredicate
+from repro.query.spatial import Circle, Everywhere, Rect, Region, named_region
+
+__all__ = ["parse_query", "QuerySyntaxError"]
+
+
+class QuerySyntaxError(ValueError):
+    """Raised when query text does not conform to the grammar."""
+
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<number>\d+(?:\.\d+)?|\.\d+)
+    | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<op><=|>=|!=|<>|=|<|>)
+    | (?P<punct>[(),*\-])
+    | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+_TIME_UNITS = {
+    "s": 1.0,
+    "sec": 1.0,
+    "secs": 1.0,
+    "second": 1.0,
+    "seconds": 1.0,
+    "min": 60.0,
+    "mins": 60.0,
+    "minute": 60.0,
+    "minutes": 60.0,
+    "h": 3600.0,
+    "hour": 3600.0,
+    "hours": 3600.0,
+}
+
+_AGGREGATES = {agg.name: agg for agg in Aggregate}
+
+_COMPARISONS = {
+    "<": Comparison.LT,
+    "<=": Comparison.LE,
+    ">": Comparison.GT,
+    ">=": Comparison.GE,
+    "=": Comparison.EQ,
+    "!=": Comparison.NE,
+    "<>": Comparison.NE,
+}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "number" | "ident" | "op" | "punct"
+    text: str
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            raise QuerySyntaxError(
+                f"unexpected character {text[position]!r} at offset {position}"
+            )
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        assert kind is not None
+        tokens.append(_Token(kind, match.group()))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: list[_Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- stream primitives ---------------------------------------------------
+
+    def _peek(self) -> Optional[_Token]:
+        if self._index >= len(self._tokens):
+            return None
+        return self._tokens[self._index]
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise QuerySyntaxError("unexpected end of query")
+        self._index += 1
+        return token
+
+    def _accept_keyword(self, word: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "ident" and token.text.upper() == word:
+            self._index += 1
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._accept_keyword(word):
+            found = self._peek()
+            raise QuerySyntaxError(
+                f"expected {word}, found {found.text if found else 'end of query'!r}"
+            )
+
+    def _expect_punct(self, char: str) -> None:
+        token = self._next()
+        if token.kind != "punct" or token.text != char:
+            raise QuerySyntaxError(f"expected {char!r}, found {token.text!r}")
+
+    def _expect_ident(self) -> str:
+        token = self._next()
+        if token.kind != "ident":
+            raise QuerySyntaxError(f"expected identifier, found {token.text!r}")
+        return token.text
+
+    def _expect_number(self) -> float:
+        token = self._next()
+        sign = 1.0
+        if token.kind == "punct" and token.text == "-":
+            sign = -1.0
+            token = self._next()
+        if token.kind != "number":
+            raise QuerySyntaxError(f"expected number, found {token.text!r}")
+        return sign * float(token.text)
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse(self) -> Query:
+        self._expect_keyword("SELECT")
+        aggregate, aggregate_attr, select = self._selection()
+        self._expect_keyword("FROM")
+        self._expect_ident()  # the virtual table name (``sensors``)
+
+        region: Region = Everywhere()
+        predicate: Optional[ValuePredicate] = None
+        if self._accept_keyword("WHERE"):
+            region, predicate = self._conditions()
+
+        sample_interval: Optional[float] = None
+        duration: Optional[float] = None
+        if self._accept_keyword("SAMPLE"):
+            self._expect_keyword("INTERVAL")
+            sample_interval = self._time()
+            self._expect_keyword("FOR")
+            duration = self._time()
+
+        use_snapshot = False
+        snapshot_threshold: Optional[float] = None
+        if self._accept_keyword("USE"):
+            self._expect_keyword("SNAPSHOT")
+            use_snapshot = True
+            if self._accept_keyword("WITH"):
+                self._expect_keyword("ERROR")
+                snapshot_threshold = self._expect_number()
+
+        trailing = self._peek()
+        if trailing is not None:
+            raise QuerySyntaxError(f"unexpected trailing input {trailing.text!r}")
+
+        return Query(
+            select=select,
+            aggregate=aggregate,
+            aggregate_attribute=aggregate_attr,
+            region=region,
+            value_predicate=predicate,
+            sample_interval=sample_interval,
+            duration=duration,
+            use_snapshot=use_snapshot,
+            snapshot_threshold=snapshot_threshold,
+        )
+
+    def _selection(self) -> tuple[Optional[Aggregate], str, tuple[str, ...]]:
+        token = self._peek()
+        if (
+            token is not None
+            and token.kind == "ident"
+            and token.text.upper() in _AGGREGATES
+            and self._index + 1 < len(self._tokens)
+            and self._tokens[self._index + 1].text == "("
+        ):
+            aggregate = _AGGREGATES[self._next().text.upper()]
+            self._expect_punct("(")
+            star = self._peek()
+            if star is not None and star.text == "*":
+                self._next()
+                attribute = "value"
+            else:
+                attribute = self._expect_ident()
+            self._expect_punct(")")
+            return aggregate, attribute, ()
+        # plain projection list
+        names = [self._expect_ident()]
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "punct" and token.text == ",":
+                self._next()
+                names.append(self._expect_ident())
+            else:
+                break
+        return None, "value", tuple(names)
+
+    def _conditions(self) -> tuple[Region, Optional[ValuePredicate]]:
+        region: Region = Everywhere()
+        predicate: Optional[ValuePredicate] = None
+        while True:
+            region, predicate = self._condition(region, predicate)
+            if not self._accept_keyword("AND"):
+                break
+        return region, predicate
+
+    def _condition(
+        self, region: Region, predicate: Optional[ValuePredicate]
+    ) -> tuple[Region, Optional[ValuePredicate]]:
+        attribute = self._expect_ident()
+        if attribute.upper() == "LOC":
+            self._expect_keyword("IN")
+            if not isinstance(region, Everywhere):
+                raise QuerySyntaxError("only one spatial condition is supported")
+            return self._region(), predicate
+        token = self._next()
+        if token.kind != "op":
+            raise QuerySyntaxError(
+                f"expected comparison after {attribute!r}, found {token.text!r}"
+            )
+        constant = self._expect_number()
+        if predicate is not None:
+            raise QuerySyntaxError("only one value predicate is supported")
+        return region, ValuePredicate(attribute, _COMPARISONS[token.text], constant)
+
+    def _region(self) -> Region:
+        name = self._expect_ident()
+        upper = name.upper()
+        if upper == "RECT":
+            self._expect_punct("(")
+            values = [self._signed_number()]
+            for _ in range(3):
+                self._expect_punct(",")
+                values.append(self._signed_number())
+            self._expect_punct(")")
+            return Rect(*values)
+        if upper == "CIRCLE":
+            self._expect_punct("(")
+            cx = self._signed_number()
+            self._expect_punct(",")
+            cy = self._signed_number()
+            self._expect_punct(",")
+            radius = self._signed_number()
+            self._expect_punct(")")
+            return Circle(cx, cy, radius)
+        return named_region(upper)
+
+    def _signed_number(self) -> float:
+        # `_expect_number` already handles an optional unary minus.
+        return self._expect_number()
+
+    def _time(self) -> float:
+        value = self._expect_number()
+        unit_token = self._next()
+        if unit_token.kind != "ident" or unit_token.text.lower() not in _TIME_UNITS:
+            raise QuerySyntaxError(
+                f"expected a time unit after {value}, found {unit_token.text!r}"
+            )
+        return value * _TIME_UNITS[unit_token.text.lower()]
+
+
+def parse_query(text: str) -> Query:
+    """Parse query text into a :class:`~repro.query.ast.Query`.
+
+    >>> q = parse_query(
+    ...     "SELECT loc, temperature FROM sensors "
+    ...     "WHERE loc IN SOUTH_EAST_QUADRANT "
+    ...     "SAMPLE INTERVAL 1sec FOR 5min USE SNAPSHOT"
+    ... )
+    >>> q.use_snapshot, q.rounds
+    (True, 300)
+    """
+    return _Parser(_tokenize(text)).parse()

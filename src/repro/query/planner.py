@@ -1,0 +1,195 @@
+"""Energy-based query planning (§3.1's optimizer remark).
+
+The paper observes that embedded query processors "can provide
+energy-based query optimization because of their tight integration with
+the node's operations".  :class:`QueryPlanner` is that optimizer for
+snapshot queries: given a query, it estimates the transmission cost of
+both execution modes from information a base station legitimately has —
+node locations (carried by the Accept messages), the current snapshot
+structure, and the radio ranges — and picks the cheaper plan.
+
+The estimates deliberately ignore measurement values (the planner
+cannot see live data): a value predicate makes both estimates upper
+bounds, which keeps the regular-vs-snapshot comparison fair.
+
+The planner also applies the §3.1 per-query-threshold rules: a
+``USE SNAPSHOT WITH ERROR t`` query is routed to the coarsest usable
+multi-resolution view, and a query tighter than every available
+snapshot is flagged as needing its own election.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.multi_resolution import MultiResolutionSnapshot
+from repro.core.runtime import SnapshotRuntime
+from repro.core.status import NodeMode
+from repro.query.ast import Query
+from repro.query.executor import QueryExecutor, QueryResult
+
+__all__ = ["QueryPlan", "QueryPlanner"]
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The planner's decision and its cost model.
+
+    Attributes
+    ----------
+    use_snapshot:
+        The chosen execution mode.
+    estimated_regular_cost:
+        Estimated transmissions per round for regular execution.
+    estimated_snapshot_cost:
+        Estimated transmissions per round for snapshot execution
+        (``inf`` when the snapshot cannot serve the query).
+    needs_election:
+        The query's error threshold is tighter than every available
+        snapshot; it must trigger an election before snapshot execution.
+    reason:
+        Human-readable justification.
+    """
+
+    use_snapshot: bool
+    estimated_regular_cost: float
+    estimated_snapshot_cost: float
+    needs_election: bool
+    reason: str
+
+
+class QueryPlanner:
+    """Chooses between regular and snapshot execution by estimated cost."""
+
+    def __init__(
+        self,
+        runtime: SnapshotRuntime,
+        executor: Optional[QueryExecutor] = None,
+        multi: Optional[MultiResolutionSnapshot] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.executor = executor if executor is not None else QueryExecutor(runtime)
+        self.multi = multi
+
+    # ------------------------------------------------------------------
+    # cost model
+    # ------------------------------------------------------------------
+
+    def _mean_hops(self) -> float:
+        """Expected tree-path length: mean pairwise distance over range."""
+        topology = self.runtime.topology
+        reach = min(topology.range_of(node) for node in topology.node_ids)
+        # expected distance between two uniform points on the unit
+        # square is ~0.52; every hop covers at most one range
+        return max(1.0, 0.52 / reach)
+
+    def estimate_regular_cost(self, query: Query) -> float:
+        """Transmissions per round: every matching alive node reports."""
+        topology = self.runtime.topology
+        alive = set(self.runtime.alive_ids())
+        responders = sum(
+            1
+            for node_id in alive
+            if query.region.contains(*topology.position(node_id))
+        )
+        if query.is_aggregate:
+            # TAG: one message per participant; routers shared
+            return responders + self._mean_hops()
+        return responders * (1.0 + self._mean_hops())
+
+    def estimate_snapshot_cost(self, query: Query) -> float:
+        """Transmissions per round: covering representatives report."""
+        responders = 0
+        for node in self.runtime.nodes.values():
+            if not node.alive or node.mode is NodeMode.PASSIVE:
+                continue
+            x, y = node.location
+            covers = query.region.contains(x, y)
+            if not covers and node.mode is NodeMode.ACTIVE:
+                covers = any(
+                    location is not None and query.region.contains(*location)
+                    for location in (
+                        node.member_location(member) for member in node.represented
+                    )
+                )
+            if covers:
+                responders += 1
+        if query.is_aggregate:
+            return responders + self._mean_hops()
+        return responders * (1.0 + self._mean_hops())
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+
+    def plan(self, query: Query) -> QueryPlan:
+        """Choose the cheaper execution mode for ``query``.
+
+        An explicit ``USE SNAPSHOT`` is treated as advisory: the
+        planner may still run regularly when the snapshot would not be
+        cheaper (e.g. a tiny region containing one unrepresented node),
+        and conversely a plain query is upgraded to snapshot execution
+        when that saves transmissions and the snapshot's threshold
+        permits it.
+        """
+        regular_cost = self.estimate_regular_cost(query)
+        needs_election = False
+        snapshot_threshold_ok = True
+
+        if query.snapshot_threshold is not None:
+            if self.multi is not None:
+                view = self.multi.view_for_threshold(query.snapshot_threshold)
+                needs_election = view is None
+            else:
+                snapshot_threshold_ok = (
+                    query.snapshot_threshold >= self.runtime.config.threshold
+                )
+                needs_election = not snapshot_threshold_ok
+
+        if needs_election:
+            return QueryPlan(
+                use_snapshot=False,
+                estimated_regular_cost=regular_cost,
+                estimated_snapshot_cost=math.inf,
+                needs_election=True,
+                reason=(
+                    f"query threshold {query.snapshot_threshold} is tighter "
+                    f"than every available snapshot; answering regularly "
+                    f"(or elect at the tighter threshold first)"
+                ),
+            )
+
+        snapshot_cost = self.estimate_snapshot_cost(query)
+        use_snapshot = snapshot_cost < regular_cost
+        if use_snapshot:
+            reason = (
+                f"snapshot execution (~{snapshot_cost:.1f} tx/round) beats "
+                f"regular (~{regular_cost:.1f} tx/round)"
+            )
+        else:
+            reason = (
+                f"regular execution (~{regular_cost:.1f} tx/round) is not "
+                f"beaten by the snapshot (~{snapshot_cost:.1f} tx/round)"
+            )
+        return QueryPlan(
+            use_snapshot=use_snapshot,
+            estimated_regular_cost=regular_cost,
+            estimated_snapshot_cost=snapshot_cost,
+            needs_election=False,
+            reason=reason,
+        )
+
+    def execute(self, query: Query, **kwargs) -> tuple[QueryPlan, QueryResult]:
+        """Plan, rewrite the query to the chosen mode, and execute it."""
+        plan = self.plan(query)
+        from dataclasses import replace
+
+        planned_query = replace(
+            query,
+            use_snapshot=plan.use_snapshot,
+            snapshot_threshold=query.snapshot_threshold if plan.use_snapshot else None,
+        )
+        result = self.executor.execute(planned_query, **kwargs)
+        return plan, result

@@ -1,0 +1,191 @@
+"""The discrete-event simulation engine.
+
+:class:`Simulator` glues the event queue, clock, RNG source and trace log
+together and exposes the scheduling API the rest of the reproduction is
+written against:
+
+* ``schedule(delay, callback)`` / ``schedule_at(time, callback)``;
+* ``every(period, callback)`` for periodic tasks (heartbeats, snapshot
+  maintenance rounds, §5.1 of the paper);
+* ``run()`` / ``run_until(t)`` / ``step()`` drivers.
+
+The engine is deliberately tiny — the paper's network operates in
+abstract time units and nothing in its evaluation needs process-style
+coroutines — but it is a complete, reusable DES core with cancellation,
+deterministic tie-breaking and bounded execution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.simulation.clock import SimulationClock
+from repro.simulation.events import Event, EventQueue
+from repro.simulation.rng import RandomSource
+from repro.simulation.tracing import TraceLog
+
+__all__ = ["Simulator", "PeriodicTask"]
+
+
+class PeriodicTask:
+    """Handle for a repeating callback registered via :meth:`Simulator.every`."""
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        period: float,
+        callback: Callable[[], None],
+        label: str,
+        priority: int,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self._simulator = simulator
+        self._period = period
+        self._callback = callback
+        self._label = label
+        self._priority = priority
+        self._stopped = False
+        self._pending: Optional[Event] = None
+
+    @property
+    def stopped(self) -> bool:
+        """Whether :meth:`stop` has been called."""
+        return self._stopped
+
+    def start(self, first_delay: Optional[float] = None) -> "PeriodicTask":
+        """Arm the task; first firing after ``first_delay`` (default: one period)."""
+        delay = self._period if first_delay is None else first_delay
+        self._pending = self._simulator.schedule(
+            delay, self._tick, label=self._label, priority=self._priority
+        )
+        return self
+
+    def stop(self) -> None:
+        """Cancel the task; no further firings occur."""
+        self._stopped = True
+        if self._pending is not None:
+            self._simulator.cancel(self._pending)
+            self._pending = None
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        # Clear the handle first so a callback that stops the task does
+        # not try to cancel this already-fired event.
+        self._pending = None
+        self._callback()
+        if not self._stopped:
+            self._pending = self._simulator.schedule(
+                self._period, self._tick, label=self._label, priority=self._priority
+            )
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for all random streams handed out by :attr:`random`.
+    keep_trace_records:
+        Whether the trace log stores full records or only counters.
+    """
+
+    def __init__(self, seed: int = 0, keep_trace_records: bool = True) -> None:
+        self.clock = SimulationClock()
+        self.queue = EventQueue()
+        self.random = RandomSource(seed)
+        self.trace = TraceLog(keep_records=keep_trace_records)
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.clock.now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events fired since construction."""
+        return self._events_processed
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        label: str = "",
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback`` to fire ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self.now + delay, callback, label=label, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        label: str = "",
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback`` to fire at absolute time ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        event = Event(time=time, callback=callback, label=label, priority=priority)
+        return self.queue.push(event)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        self.queue.cancel(event)
+
+    def every(
+        self,
+        period: float,
+        callback: Callable[[], None],
+        label: str = "",
+        priority: int = 0,
+        first_delay: Optional[float] = None,
+    ) -> PeriodicTask:
+        """Register and start a periodic task firing every ``period`` units."""
+        task = PeriodicTask(self, period, callback, label, priority)
+        return task.start(first_delay=first_delay)
+
+    def step(self) -> bool:
+        """Process exactly one event.  Returns ``False`` if the queue is empty."""
+        if not self.queue:
+            return False
+        event = self.queue.pop()
+        self.clock.advance_to(event.time)
+        event.fire()
+        self._events_processed += 1
+        return True
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains (or ``max_events`` fire); returns count."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                break
+        return fired
+
+    def run_until(self, time: float, max_events: Optional[int] = None) -> int:
+        """Run all events with firing time ``<= time``; advance clock to ``time``.
+
+        The clock is left at exactly ``time`` even if the last event fired
+        earlier, matching the usual "run for this long" semantics.
+        """
+        if time < self.now:
+            raise ValueError(f"cannot run until the past ({time} < {self.now})")
+        fired = 0
+        while True:
+            next_time = self.queue.peek_time()
+            if next_time is None or next_time > time:
+                break
+            self.step()
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                break
+        if self.now < time:
+            self.clock.advance_to(time)
+        return fired

@@ -1,0 +1,78 @@
+"""Lightweight tracing and counters for simulations.
+
+The experiment harness needs to know *what happened* during a run —
+how many messages of each type were sent, how many elections completed,
+when nodes died — without the protocol code knowing anything about
+reporting.  :class:`TraceLog` is a pub/sub sink: components ``emit``
+named records, observers subscribe by name, and counters accumulate for
+free.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["TraceRecord", "TraceLog"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """A single trace entry.
+
+    Attributes
+    ----------
+    time:
+        Simulated time of the emission.
+    kind:
+        Record category, e.g. ``"message.sent"`` or ``"node.died"``.
+    payload:
+        Arbitrary structured detail attached by the emitter.
+    """
+
+    time: float
+    kind: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+
+class TraceLog:
+    """Collects :class:`TraceRecord` entries and dispatches to subscribers.
+
+    Recording full records is optional (``keep_records=False`` keeps only
+    the per-kind counters) so long experiments do not hold the entire
+    history in memory.
+    """
+
+    def __init__(self, keep_records: bool = True) -> None:
+        self.keep_records = keep_records
+        self.records: list[TraceRecord] = []
+        self.counts: Counter[str] = Counter()
+        self._subscribers: defaultdict[str, list[Callable[[TraceRecord], None]]]
+        self._subscribers = defaultdict(list)
+
+    def emit(self, time: float, kind: str, **payload: Any) -> None:
+        """Record an occurrence of ``kind`` at ``time``."""
+        record = TraceRecord(time=time, kind=kind, payload=payload)
+        self.counts[kind] += 1
+        if self.keep_records:
+            self.records.append(record)
+        for callback in self._subscribers.get(kind, ()):
+            callback(record)
+
+    def subscribe(self, kind: str, callback: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``callback`` for every future record of ``kind``."""
+        self._subscribers[kind].append(callback)
+
+    def count(self, kind: str) -> int:
+        """Number of records of ``kind`` emitted so far."""
+        return self.counts[kind]
+
+    def of_kind(self, kind: str) -> list[TraceRecord]:
+        """All stored records of ``kind`` (empty if ``keep_records=False``)."""
+        return [record for record in self.records if record.kind == kind]
+
+    def clear(self) -> None:
+        """Drop all stored records and counters (subscribers survive)."""
+        self.records.clear()
+        self.counts.clear()

@@ -1,0 +1,154 @@
+"""Election invariants on real (data-driven) networks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.runtime import SnapshotRuntime
+from repro.core.status import NodeMode
+from repro.data.random_walk import RandomWalkConfig, generate_random_walk
+from repro.data.series import Dataset
+from repro.network.links import GlobalLoss
+from repro.network.topology import uniform_random_topology
+from tests.conftest import make_runtime
+
+
+def elect(runtime: SnapshotRuntime):
+    runtime.train(duration=10)
+    runtime.advance_to(100)
+    return runtime.run_election()
+
+
+class TestElectionInvariants:
+    def test_everyone_settles(self):
+        runtime = make_runtime(n_nodes=25, n_classes=3)
+        elect(runtime)
+        for node in runtime.nodes.values():
+            assert node.mode.settled
+
+    def test_passive_nodes_point_at_active_representatives(self):
+        runtime = make_runtime(n_nodes=25, n_classes=3)
+        elect(runtime)
+        for node in runtime.nodes.values():
+            if node.mode is NodeMode.PASSIVE:
+                rep = runtime.nodes[node.representative_id]
+                assert rep.mode is NodeMode.ACTIVE
+
+    def test_active_nodes_represent_themselves(self):
+        runtime = make_runtime(n_nodes=25, n_classes=3)
+        elect(runtime)
+        for node in runtime.nodes.values():
+            if node.mode is NodeMode.ACTIVE:
+                assert node.representative_id in (None, node.node_id)
+
+    def test_snapshot_covers_network_without_loss(self):
+        """Lossless: every node is either a representative or claimed
+        by exactly the representative it points to."""
+        runtime = make_runtime(n_nodes=25, n_classes=3)
+        view = elect(runtime)
+        covered = set(view.representatives)
+        for rep in view.representatives:
+            covered |= set(runtime.nodes[rep].represented)
+        assert covered == set(range(25))
+
+    def test_message_bound_without_loss(self):
+        runtime = make_runtime(n_nodes=30, n_classes=4)
+        elect(runtime)
+        assert runtime.stats.max_protocol_messages_any_node() <= 5
+
+    def test_no_spurious_without_loss(self):
+        runtime = make_runtime(n_nodes=30, n_classes=4)
+        view = elect(runtime)
+        assert view.audit().n_spurious == 0
+
+    def test_single_class_single_representative(self):
+        """The paper's K=1 headline: one node represents everyone."""
+        runtime = make_runtime(n_nodes=30, n_classes=1, threshold=1.0)
+        view = elect(runtime)
+        assert view.size == 1
+
+    def test_threshold_zero_everyone_active_with_distinct_data(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(0.0, 100.0, size=(10, 120)).cumsum(axis=1)
+        dataset = Dataset(values)
+        topology = uniform_random_topology(10, 2.0, rng)
+        runtime = SnapshotRuntime(
+            topology, dataset, ProtocolConfig(threshold=1e-12), seed=5
+        )
+        view = elect(runtime)
+        assert view.size == 10
+
+    def test_epoch_increments_per_round(self):
+        runtime = make_runtime(n_nodes=10, n_classes=2)
+        runtime.train(duration=10)
+        runtime.run_election()
+        first = runtime.coordinator.epoch
+        runtime.run_election()
+        assert runtime.coordinator.epoch == first + 1
+
+    def test_reelection_resets_state(self):
+        """A second global election discards the first's assignments."""
+        runtime = make_runtime(n_nodes=20, n_classes=2)
+        view1 = elect(runtime)
+        view2 = runtime.run_election()
+        assert view2.n_nodes == view1.n_nodes
+        for node in runtime.nodes.values():
+            assert node.mode.settled
+
+    def test_coordinator_rejects_past_start(self):
+        runtime = make_runtime(n_nodes=5, n_classes=1)
+        runtime.advance_to(10.0)
+        with pytest.raises(ValueError):
+            runtime.coordinator.start_round(at=5.0)
+
+
+class TestElectionUnderLoss:
+    def test_all_settle_under_moderate_loss(self):
+        runtime = make_runtime(
+            n_nodes=25, n_classes=2, loss_model=GlobalLoss(0.3)
+        )
+        view = elect(runtime)
+        assert view.size >= 1
+        settled = [n for n in runtime.nodes.values() if n.mode.settled]
+        assert len(settled) >= 24  # the Rule-4 tail is sub-percent
+
+    def test_total_loss_makes_everyone_self_represent(self):
+        runtime = make_runtime(
+            n_nodes=15, n_classes=1, loss_model=GlobalLoss(1.0)
+        )
+        view = elect(runtime)
+        assert view.size == 15
+        for node in runtime.nodes.values():
+            assert node.mode is NodeMode.ACTIVE
+
+    def test_loss_increases_snapshot_size(self):
+        sizes = {}
+        for loss in (0.0, 0.8):
+            runtime = make_runtime(
+                n_nodes=30, n_classes=1, loss_model=GlobalLoss(loss), seed=11
+            )
+            sizes[loss] = elect(runtime).size
+        assert sizes[0.8] > sizes[0.0]
+
+
+class TestDisconnectedNetwork:
+    def test_isolated_nodes_represent_themselves(self):
+        rng = np.random.default_rng(0)
+        dataset, __ = generate_random_walk(
+            RandomWalkConfig(n_nodes=4, n_classes=1, length=120), rng
+        )
+        # two clusters out of range of each other
+        from repro.network.topology import Topology
+
+        topology = Topology(
+            [(0.0, 0.0), (0.01, 0.0), (0.9, 0.9), (0.91, 0.9)], ranges=0.05
+        )
+        runtime = SnapshotRuntime(topology, dataset, ProtocolConfig(threshold=5.0))
+        view = elect(runtime)
+        # each cluster elects locally; the clusters cannot merge
+        assert view.size >= 2
+        reps = set(view.representatives)
+        assert reps & {0, 1}
+        assert reps & {2, 3}

@@ -1,0 +1,215 @@
+"""Tests for §5.1 maintenance: heartbeats, self-healing, hand-off, rotation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.runtime import SnapshotRuntime
+from repro.core.snapshot import SnapshotView
+from repro.core.status import NodeMode
+from repro.data.series import Dataset
+from repro.network.topology import Topology
+
+
+def two_cluster_runtime(
+    threshold: float = 5.0,
+    heartbeat_period: float = 10.0,
+    battery: float | None = None,
+    length: int = 400,
+    drift_node: int | None = None,
+    drift_at: int = 200,
+    **config_overrides,
+) -> SnapshotRuntime:
+    """Five nodes, all in range, with near-identical series.
+
+    Optionally one node's series jumps far away at ``drift_at`` so its
+    representative's model goes stale mid-run.
+    """
+    base = np.linspace(0.0, 40.0, length)
+    values = np.stack([base + offset for offset in (0.0, 0.5, 1.0, 1.5, 2.0)])
+    if drift_node is not None:
+        values[drift_node, drift_at:] += 1000.0
+    dataset = Dataset(values)
+    topology = Topology([(0.1 * i, 0.0) for i in range(5)], ranges=2.0)
+    config = ProtocolConfig(
+        threshold=threshold, heartbeat_period=heartbeat_period, **config_overrides
+    )
+    return SnapshotRuntime(
+        topology, dataset, config, seed=21, battery_capacity=battery
+    )
+
+
+def warmed(runtime: SnapshotRuntime) -> SnapshotView:
+    runtime.train(duration=10)
+    view = runtime.run_election()
+    return view
+
+
+class TestHeartbeats:
+    def test_steady_state_no_reelections(self):
+        runtime = two_cluster_runtime()
+        view = warmed(runtime)
+        assert view.size < 5
+        runtime.start_maintenance()
+        runtime.advance_to(runtime.now + 50)
+        assert sum(node.reelections for node in runtime.nodes.values()) == 0
+        assert runtime.snapshot().size == view.size
+
+    def test_heartbeats_flow_each_period(self):
+        runtime = two_cluster_runtime()
+        warmed(runtime)
+        runtime.start_maintenance()
+        before = runtime.stats.sent_of_kind("Heartbeat")
+        runtime.advance_to(runtime.now + 35)
+        sent = runtime.stats.sent_of_kind("Heartbeat") - before
+        n_passive = sum(
+            1 for n in runtime.nodes.values() if n.mode is NodeMode.PASSIVE
+        )
+        assert sent >= 3 * n_passive  # ~3 periods elapsed
+        assert runtime.stats.sent_of_kind("HeartbeatReply") >= sent - n_passive
+
+    def test_messages_per_round_bounded_by_six(self):
+        runtime = two_cluster_runtime()
+        warmed(runtime)
+        runtime.start_maintenance()
+        runtime.advance_to(runtime.now + 100)
+        costs = runtime.maintenance.round_message_costs()
+        assert costs, "at least one maintenance round must have completed"
+        assert all(cost <= 6.0 for cost in costs)
+
+
+class TestSelfHealing:
+    def test_dead_representative_replaced(self):
+        runtime = two_cluster_runtime(battery=50.0)
+        view = warmed(runtime)
+        rep = view.representatives[0]
+        members = [n for n in runtime.nodes.values()
+                   if n.representative_id == rep and n.node_id != rep]
+        assert members
+        runtime.start_maintenance()
+        # kill the representative
+        runtime.radio.node(rep).battery.draw(1e9)
+        runtime.advance_to(runtime.now + 40)
+        for member in members:
+            assert member.representative_id != rep
+            assert member.mode.settled
+        assert all(m.reelections >= 1 for m in members)
+
+    def test_model_drift_triggers_reelection(self):
+        # Node 4 wins the election deterministically (longest-list ties
+        # break to the largest id), so drift node 0: a represented node.
+        drifting = two_cluster_runtime(drift_node=0, drift_at=60)
+        view = warmed(drifting)
+        assert drifting.nodes[0].mode is NodeMode.PASSIVE
+        drifting.start_maintenance()
+        drifting.advance_to(drifting.now + 60)
+        node0 = drifting.nodes[0]
+        # after its series jumped by 1000, no neighbor can represent it
+        assert node0.mode is NodeMode.ACTIVE
+        assert node0.representative_id in (None, 0)
+        assert node0.reelections >= 1
+
+    def test_recall_on_stale_model_prevents_spurious_claim(self):
+        drifting = two_cluster_runtime(drift_node=0, drift_at=60)
+        warmed(drifting)
+        drifting.start_maintenance()
+        drifting.advance_to(drifting.now + 60)
+        audit = drifting.snapshot().audit()
+        assert audit.n_spurious == 0
+
+    def test_lone_active_folds_under_existing_representative(self):
+        """An ACTIVE singleton periodically invites and joins a rep."""
+        runtime = two_cluster_runtime()
+        warmed(runtime)
+        # force node 1 into lone-active state
+        node1 = runtime.nodes[1]
+        old_rep = node1.representative_id
+        node1.mode = NodeMode.ACTIVE
+        node1.representative_id = 1
+        if old_rep is not None and old_rep != 1:
+            runtime.nodes[old_rep].represented.pop(1, None)
+        runtime.start_maintenance()
+        runtime.advance_to(runtime.now + 30)
+        assert node1.mode is NodeMode.PASSIVE
+        assert node1.representative_id != 1
+
+
+class TestEnergyHandoff:
+    def test_low_battery_representative_resigns(self):
+        runtime = two_cluster_runtime(
+            battery=100.0, energy_resign_fraction=0.9, heartbeat_period=10.0
+        )
+        view = warmed(runtime)
+        rep = view.representatives[0]
+        rep_node = runtime.nodes[rep]
+        assert rep_node.represented
+        runtime.start_maintenance()
+        # drain below the 90% threshold
+        runtime.radio.node(rep).battery.draw(20.0)
+        runtime.advance_to(runtime.now + 30)
+        assert not rep_node.represented
+        assert runtime.stats.sent_of_kind("Resign") >= 1
+
+    def test_resigning_node_ignores_invitations(self):
+        runtime = two_cluster_runtime(
+            battery=100.0, energy_resign_fraction=0.9, heartbeat_period=10.0
+        )
+        view = warmed(runtime)
+        rep = view.representatives[0]
+        runtime.start_maintenance()
+        runtime.radio.node(rep).battery.draw(20.0)
+        runtime.advance_to(runtime.now + 30)
+        # the members re-elected someone; the drained node must not
+        # have been chosen again while resigning
+        for node in runtime.nodes.values():
+            if node.node_id != rep and node.mode is NodeMode.PASSIVE:
+                assert node.representative_id != rep
+
+
+class TestRotation:
+    def test_leach_style_rotation_changes_representatives(self):
+        runtime = two_cluster_runtime(
+            rotation_probability=1.0, heartbeat_period=10.0
+        )
+        view = warmed(runtime)
+        runtime.start_maintenance()
+        runtime.advance_to(runtime.now + 25)
+        assert runtime.stats.sent_of_kind("Resign") >= 1
+        # the network reconverges: everyone settled
+        for node in runtime.nodes.values():
+            assert node.mode.settled
+
+    def test_rotation_preserves_coverage(self):
+        runtime = two_cluster_runtime(
+            rotation_probability=0.5, heartbeat_period=10.0
+        )
+        warmed(runtime)
+        runtime.start_maintenance()
+        runtime.advance_to(runtime.now + 80)
+        view = runtime.snapshot()
+        covered = set(view.representatives)
+        for rep in view.representatives:
+            covered |= set(runtime.nodes[rep].represented)
+        assert covered == set(range(5))
+
+
+class TestManagerLifecycle:
+    def test_double_start_rejected(self):
+        runtime = two_cluster_runtime()
+        warmed(runtime)
+        runtime.start_maintenance()
+        with pytest.raises(RuntimeError):
+            runtime.start_maintenance()
+
+    def test_stop_halts_heartbeats(self):
+        runtime = two_cluster_runtime()
+        warmed(runtime)
+        runtime.start_maintenance()
+        runtime.advance_to(runtime.now + 15)
+        runtime.maintenance.stop()
+        before = runtime.stats.sent_of_kind("Heartbeat")
+        runtime.advance_to(runtime.now + 50)
+        assert runtime.stats.sent_of_kind("Heartbeat") == before
+        assert not runtime.maintenance.running

@@ -1,0 +1,79 @@
+"""Tests for multi-resolution snapshots (§1/§3.1 extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.multi_resolution import MultiResolutionSnapshot
+from tests.conftest import make_runtime
+
+
+def trained(n_nodes: int = 20, n_classes: int = 4, seed: int = 31):
+    runtime = make_runtime(n_nodes=n_nodes, n_classes=n_classes, seed=seed)
+    runtime.train(duration=10)
+    runtime.advance_to(100)
+    return runtime
+
+
+class TestValidation:
+    def test_requires_thresholds(self):
+        with pytest.raises(ValueError):
+            MultiResolutionSnapshot(trained(), [])
+
+    def test_requires_increasing(self):
+        with pytest.raises(ValueError):
+            MultiResolutionSnapshot(trained(), [1.0, 1.0])
+        with pytest.raises(ValueError):
+            MultiResolutionSnapshot(trained(), [2.0, 1.0])
+
+    def test_requires_positive(self):
+        with pytest.raises(ValueError):
+            MultiResolutionSnapshot(trained(), [0.0, 1.0])
+
+
+class TestResolutions:
+    def test_coarser_thresholds_never_need_more_representatives(self):
+        runtime = trained()
+        multi = MultiResolutionSnapshot(runtime, [0.01, 1.0, 100.0])
+        views = multi.build()
+        sizes = [views[t].size for t in (0.01, 1.0, 100.0)]
+        # monotone non-increasing with resolution coarsening (allowing
+        # small protocol noise at equal levels)
+        assert sizes[0] >= sizes[1] >= sizes[2]
+
+    def test_runtime_threshold_restored(self):
+        runtime = trained()
+        original = runtime.config.threshold
+        MultiResolutionSnapshot(runtime, [0.5, 5.0]).build()
+        assert runtime.nodes[0].config.threshold == original
+        assert runtime.coordinator.config.threshold == original
+
+    def test_sizes_accessor(self):
+        runtime = trained()
+        multi = MultiResolutionSnapshot(runtime, [1.0, 10.0])
+        multi.build()
+        sizes = multi.sizes()
+        assert set(sizes) == {1.0, 10.0}
+
+
+class TestReuseRule:
+    def test_query_served_by_coarsest_usable_snapshot(self):
+        runtime = trained()
+        multi = MultiResolutionSnapshot(runtime, [1.0, 10.0])
+        multi.build()
+        view = multi.view_for_threshold(5.0)
+        assert view is multi.views[1.0]
+        view10 = multi.view_for_threshold(50.0)
+        assert view10 is multi.views[10.0]
+
+    def test_tighter_query_needs_its_own_election(self):
+        runtime = trained()
+        multi = MultiResolutionSnapshot(runtime, [1.0, 10.0])
+        multi.build()
+        assert multi.view_for_threshold(0.5) is None
+
+    def test_exact_threshold_match(self):
+        runtime = trained()
+        multi = MultiResolutionSnapshot(runtime, [1.0, 10.0])
+        multi.build()
+        assert multi.view_for_threshold(1.0) is multi.views[1.0]

@@ -1,0 +1,116 @@
+"""Tests for the SnapshotRuntime facade and configuration validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.runtime import SnapshotRuntime
+from repro.data.series import Dataset
+from repro.models.metrics import AbsoluteError
+from repro.network.topology import grid_topology
+from tests.conftest import make_runtime
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        ProtocolConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"threshold": -1.0},
+            {"phase_spacing": 0.0},
+            {"max_wait": -1.0},
+            {"p_wait": 1.5},
+            {"snoop_probability": -0.1},
+            {"heartbeat_period": 0.0},
+            {"rotation_probability": 2.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            ProtocolConfig(**kwargs)
+
+    def test_custom_metric_accepted(self):
+        config = ProtocolConfig(metric=AbsoluteError(), threshold=0.5)
+        assert config.metric(3.0, 1.0) == 2.0
+
+
+class TestRuntimeConstruction:
+    def test_dataset_must_cover_topology(self):
+        topology = grid_topology(3, 1.0)  # 9 nodes
+        dataset = Dataset(np.zeros((4, 10)))
+        with pytest.raises(ValueError, match="dataset"):
+            SnapshotRuntime(topology, dataset)
+
+    def test_value_of_tracks_clock(self):
+        runtime = make_runtime(n_nodes=5, n_classes=1)
+        v0 = runtime.value_of(0)
+        runtime.advance_to(50.0)
+        assert runtime.value_of(0) == runtime.dataset.value(0, 50.0)
+        assert runtime.now == 50.0
+
+    def test_alive_ids_shrink_with_battery(self):
+        runtime = make_runtime(n_nodes=5, n_classes=1, battery_capacity=3.0)
+        assert len(runtime.alive_ids()) == 5
+        runtime.radio.node(2).battery.draw(10.0)
+        assert 2 not in runtime.alive_ids()
+
+
+class TestTraining:
+    def test_training_builds_models(self):
+        runtime = make_runtime(n_nodes=8, n_classes=1)
+        runtime.train(duration=10)
+        # every node heard every other node's ten broadcasts
+        for node in runtime.nodes.values():
+            known = node.store.known_neighbors()
+            assert len(known) == 7
+
+    def test_training_advances_clock(self):
+        runtime = make_runtime(n_nodes=4, n_classes=1)
+        runtime.train(duration=10)
+        assert runtime.now == pytest.approx(10.0)
+
+    def test_training_overrides_then_restores_snoop(self):
+        runtime = make_runtime(n_nodes=4, n_classes=1)
+        for node in runtime.nodes.values():
+            node.snoop_probability = 0.05
+        runtime.train(duration=5)
+        for node in runtime.nodes.values():
+            assert node.snoop_probability == 0.05
+
+    def test_invalid_training_window(self):
+        runtime = make_runtime(n_nodes=4, n_classes=1)
+        with pytest.raises(ValueError):
+            runtime.train(duration=0.0)
+        with pytest.raises(ValueError):
+            runtime.train(duration=5.0, interval=0.0)
+
+    def test_training_messages_counted(self):
+        runtime = make_runtime(n_nodes=4, n_classes=1)
+        runtime.train(duration=10)
+        assert runtime.stats.sent_of_kind("DataReport") == 40
+
+
+class TestDeterminism:
+    def test_same_seed_same_snapshot(self):
+        def one(seed: int):
+            runtime = make_runtime(n_nodes=20, n_classes=3, seed=seed)
+            runtime.train(duration=10)
+            runtime.advance_to(100)
+            return runtime.run_election()
+
+        a, b = one(9), one(9)
+        assert a.representatives == b.representatives
+        assert a.assignment == b.assignment
+
+    def test_different_seeds_can_differ(self):
+        results = set()
+        for seed in range(4):
+            runtime = make_runtime(n_nodes=20, n_classes=5, seed=seed)
+            runtime.train(duration=10)
+            runtime.advance_to(100)
+            results.add(runtime.run_election().representatives)
+        assert len(results) > 1

@@ -1,0 +1,107 @@
+"""Tests for the §6.1 class-correlated random-walk generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.random_walk import (
+    RandomWalkConfig,
+    class_assignment,
+    generate_random_walk,
+)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        RandomWalkConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_nodes": 0},
+            {"n_classes": 0},
+            {"n_classes": 101},
+            {"length": 0},
+            {"initial_low": 5.0, "initial_high": 5.0},
+            {"step_low": 1.0, "step_high": 1.0},
+            {"move_low": -0.1},
+            {"move_low": 0.9, "move_high": 0.5},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            RandomWalkConfig(**kwargs)
+
+
+class TestClassAssignment:
+    def test_every_class_populated(self):
+        rng = np.random.default_rng(0)
+        labels = class_assignment(100, 17, rng)
+        assert set(labels) == set(range(17))
+
+    def test_single_class(self):
+        labels = class_assignment(10, 1, np.random.default_rng(0))
+        assert all(label == 0 for label in labels)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            class_assignment(5, 6, np.random.default_rng(0))
+
+
+class TestGeneratedSeries:
+    def test_shape(self):
+        config = RandomWalkConfig(n_nodes=20, n_classes=3, length=50)
+        data, labels = generate_random_walk(config, np.random.default_rng(1))
+        assert data.n_nodes == 20
+        assert data.length == 50
+        assert len(labels) == 20
+
+    def test_initial_values_in_range(self):
+        config = RandomWalkConfig(n_nodes=50, n_classes=2, length=5)
+        data, __ = generate_random_walk(config, np.random.default_rng(2))
+        first = data.values[:, 0]
+        assert (first >= 0.0).all() and (first < 1000.0).all()
+
+    def test_same_class_series_affinely_related(self):
+        """The defining property: same-class walks are exact affine
+        transforms of one another (x_j = a x_i + b)."""
+        config = RandomWalkConfig(n_nodes=30, n_classes=3, length=80)
+        data, labels = generate_random_walk(config, np.random.default_rng(3))
+        by_class: dict[int, list[int]] = {}
+        for node, label in enumerate(labels):
+            by_class.setdefault(int(label), []).append(node)
+        for members in by_class.values():
+            if len(members) < 2:
+                continue
+            anchor = data.series(members[0])
+            if np.ptp(anchor) == 0:
+                continue
+            for other in members[1:]:
+                series = data.series(other)
+                fit = np.polyfit(anchor, series, 1)
+                residual = series - np.polyval(fit, anchor)
+                assert np.abs(residual).max() < 1e-8
+
+    def test_steps_bounded_by_one(self):
+        config = RandomWalkConfig(n_nodes=10, n_classes=2, length=60)
+        data, __ = generate_random_walk(config, np.random.default_rng(4))
+        increments = np.abs(np.diff(data.values, axis=1))
+        assert increments.max() <= 1.0 + 1e-12
+
+    def test_k1_moves(self):
+        """With move probabilities >= 0.2 a K=1 walk is not constant."""
+        config = RandomWalkConfig(n_nodes=5, n_classes=1, length=100)
+        data, __ = generate_random_walk(config, np.random.default_rng(5))
+        assert np.ptp(data.values, axis=1).min() > 0.0
+
+    @given(st.integers(min_value=1, max_value=10), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_determinism(self, n_classes, seed):
+        config = RandomWalkConfig(n_nodes=10, n_classes=n_classes, length=20)
+        a, la = generate_random_walk(config, np.random.default_rng(seed))
+        b, lb = generate_random_walk(config, np.random.default_rng(seed))
+        assert np.array_equal(a.values, b.values)
+        assert np.array_equal(la, lb)

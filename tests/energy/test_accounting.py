@@ -1,0 +1,65 @@
+"""Tests for the energy ledger and cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy.accounting import EnergyLedger
+from repro.energy.costs import PAPER_COST_MODEL, EnergyCostModel
+
+
+class TestCostModel:
+    def test_paper_values(self):
+        """§6.2: battery = 500 transmissions, cache update = tx / 10."""
+        assert PAPER_COST_MODEL.transmit == 1.0
+        assert PAPER_COST_MODEL.receive == 0.0
+        assert PAPER_COST_MODEL.cpu_cache_update == pytest.approx(0.1)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyCostModel(transmit=-1.0)
+
+
+class TestLedger:
+    def test_record_and_totals(self):
+        ledger = EnergyLedger()
+        ledger.record(0, "transmit", 2.0)
+        ledger.record(0, "cpu", 0.5)
+        ledger.record(1, "transmit", 1.0)
+        assert ledger.node_total(0) == pytest.approx(2.5)
+        assert ledger.total("transmit") == pytest.approx(3.0)
+        assert ledger.total() == pytest.approx(3.5)
+
+    def test_breakdown(self):
+        ledger = EnergyLedger()
+        ledger.record(3, "receive", 0.25)
+        assert ledger.node_breakdown(3) == {
+            "transmit": 0.0,
+            "receive": 0.25,
+            "cpu": 0.0,
+        }
+
+    def test_unknown_category_rejected(self):
+        ledger = EnergyLedger()
+        with pytest.raises(ValueError):
+            ledger.record(0, "flux", 1.0)
+        with pytest.raises(ValueError):
+            ledger.total("flux")
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyLedger().record(0, "cpu", -1.0)
+
+    def test_top_consumers_sorted(self):
+        ledger = EnergyLedger()
+        ledger.record(0, "transmit", 1.0)
+        ledger.record(1, "transmit", 5.0)
+        ledger.record(2, "transmit", 3.0)
+        assert ledger.top_consumers(2) == [(1, 5.0), (2, 3.0)]
+
+    def test_clear(self):
+        ledger = EnergyLedger()
+        ledger.record(0, "transmit", 1.0)
+        ledger.clear()
+        assert ledger.total() == 0.0
+        assert ledger.node_total(0) == 0.0

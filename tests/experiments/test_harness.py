@@ -1,0 +1,104 @@
+"""Tests for the experiment harness plumbing."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.harness import (
+    NetworkSetup,
+    Series,
+    SweepPoint,
+    make_cache_factory,
+    random_walk_dataset,
+    repeat,
+    weather_dataset,
+)
+from repro.models.cache_manager import ModelAwareCache
+from repro.models.round_robin import RoundRobinCache
+
+
+class TestNetworkSetup:
+    def test_defaults_match_paper(self):
+        setup = NetworkSetup()
+        assert setup.n_nodes == 100
+        assert setup.transmission_range == pytest.approx(math.sqrt(2))
+        assert setup.cache_bytes == 2048
+        assert setup.threshold == 1.0
+        assert setup.metric_name == "sse"
+
+    def test_with_creates_modified_copy(self):
+        setup = NetworkSetup()
+        modified = setup.with_(threshold=0.1)
+        assert modified.threshold == 0.1
+        assert setup.threshold == 1.0
+
+    def test_protocol_config_propagates(self):
+        config = NetworkSetup(threshold=3.0, snoop_probability=0.05).protocol_config()
+        assert config.threshold == 3.0
+        assert config.snoop_probability == 0.05
+        assert config.metric.name == "sse"
+
+
+class TestCacheFactory:
+    def test_model_aware(self):
+        factory = make_cache_factory("model-aware", 2048)
+        assert isinstance(factory(), ModelAwareCache)
+        assert factory() is not factory()  # fresh instance per node
+
+    def test_round_robin(self):
+        assert isinstance(make_cache_factory("round-robin", 2048)(), RoundRobinCache)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            make_cache_factory("lru", 2048)
+
+
+class TestDatasets:
+    def test_random_walk_shape(self):
+        setup = NetworkSetup(n_nodes=10)
+        data = random_walk_dataset(setup, n_classes=2, seed=1, length=30)
+        assert data.n_nodes == 10
+        assert data.length == 30
+
+    def test_weather_shape(self):
+        setup = NetworkSetup(n_nodes=10)
+        data = weather_dataset(setup, seed=1, length=40)
+        assert data.n_nodes == 10
+        assert data.length == 40
+
+    def test_seed_determinism(self):
+        setup = NetworkSetup(n_nodes=5)
+        a = random_walk_dataset(setup, 1, seed=4)
+        b = random_walk_dataset(setup, 1, seed=4)
+        assert (a.values == b.values).all()
+
+
+class TestSweepContainers:
+    def test_point_statistics(self):
+        point = SweepPoint(x=1.0, samples=[2.0, 4.0])
+        assert point.mean == 3.0
+        assert point.std == pytest.approx(math.sqrt(2))
+
+    def test_single_sample_std_zero(self):
+        assert SweepPoint(x=0.0, samples=[5.0]).std == 0.0
+
+    def test_series_accessors(self):
+        series = Series("s", "x", "y")
+        series.add(1.0, [1.0])
+        series.add(2.0, [3.0, 5.0])
+        assert series.xs == [1.0, 2.0]
+        assert series.means == [1.0, 4.0]
+        assert series.point_at(2.0).mean == 4.0
+        with pytest.raises(KeyError):
+            series.point_at(9.0)
+
+    def test_repeat_runs_distinct_seeds(self):
+        seen = []
+        repeat(lambda seed: seen.append(seed) or 0.0, repetitions=3, base_seed=5)
+        assert len(set(seen)) == 3
+
+    def test_repeat_requires_positive(self):
+        with pytest.raises(ValueError):
+            repeat(lambda seed: 0.0, repetitions=0, base_seed=1)

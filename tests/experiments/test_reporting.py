@@ -1,0 +1,68 @@
+"""Tests for the textual reporting helpers."""
+
+from __future__ import annotations
+
+from repro.experiments.harness import Series
+from repro.experiments.reporting import (
+    format_multi_series,
+    format_rows,
+    format_series,
+    format_table3,
+)
+from repro.experiments.savings import Table3Cell, Table3Result
+
+
+def sample_series(label: str = "demo") -> Series:
+    series = Series(label, "K", "n1")
+    series.add(1, [1.0, 1.0])
+    series.add(10, [18.0, 22.0])
+    return series
+
+
+class TestFormatRows:
+    def test_alignment_and_title(self):
+        text = format_rows(("a", "bb"), [(1, 2), (30, 40)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+
+class TestFormatSeries:
+    def test_contains_means_and_spread(self):
+        text = format_series(sample_series(), title="Figure X")
+        assert "Figure X" in text
+        assert "20.00" in text
+        assert "±" in text
+
+    def test_default_title_is_label(self):
+        assert format_series(sample_series("lbl")).splitlines()[0] == "lbl"
+
+
+class TestFormatMultiSeries:
+    def test_one_column_per_label(self):
+        text = format_multi_series(
+            {"a": sample_series(), "b": sample_series()}, "K", title="Combined"
+        )
+        header = text.splitlines()[1]
+        assert "a" in header and "b" in header
+
+
+class TestFormatTable3:
+    def test_paper_layout(self):
+        result = Table3Result()
+        for area in (0.01, 0.1):
+            for reach in (0.2, 0.7):
+                for k in (1, 100):
+                    result.cells[(area, reach, k)] = Table3Cell(
+                        query_area=area,
+                        transmission_range=reach,
+                        n_classes=k,
+                        savings=0.5,
+                        n_queries=10,
+                        snapshot_size=5,
+                    )
+        text = format_table3(result)
+        assert "W^2 = 0.01" in text
+        assert "K=1 r=0.2" in text
+        assert "50%" in text

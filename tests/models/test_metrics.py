@@ -1,0 +1,85 @@
+"""Unit tests for error metrics (§3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.models.metrics import (
+    AbsoluteError,
+    RelativeError,
+    SumSquaredError,
+    metric_by_name,
+)
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestSumSquaredError:
+    def test_basic(self):
+        assert SumSquaredError()(3.0, 1.0) == 4.0
+
+    def test_zero_for_exact(self):
+        assert SumSquaredError()(5.0, 5.0) == 0.0
+
+    @given(finite, finite)
+    def test_symmetric_and_nonnegative(self, a, b):
+        metric = SumSquaredError()
+        assert metric(a, b) >= 0.0
+        assert metric(a, b) == metric(b, a)
+
+
+class TestAbsoluteError:
+    def test_basic(self):
+        assert AbsoluteError()(3.0, 1.0) == 2.0
+
+    @given(finite, finite)
+    def test_matches_abs(self, a, b):
+        assert AbsoluteError()(a, b) == abs(a - b)
+
+
+class TestRelativeError:
+    def test_sanity_bound_guards_zero(self):
+        metric = RelativeError(sanity_bound=0.5)
+        assert metric(0.0, 1.0) == pytest.approx(2.0)
+
+    def test_large_actual_dominates_bound(self):
+        metric = RelativeError(sanity_bound=0.5)
+        assert metric(10.0, 9.0) == pytest.approx(0.1)
+
+    def test_nonpositive_bound_rejected(self):
+        with pytest.raises(ValueError):
+            RelativeError(sanity_bound=0.0)
+
+    @given(finite, finite)
+    def test_nonnegative(self, a, b):
+        assert RelativeError(sanity_bound=1.0)(a, b) >= 0.0
+
+
+class TestWithin:
+    def test_within_inclusive(self):
+        metric = SumSquaredError()
+        assert metric.within(2.0, 1.0, threshold=1.0)
+        assert not metric.within(2.0, 0.5, threshold=1.0)
+
+    @given(finite, finite, st.floats(min_value=0, max_value=1e6))
+    def test_within_consistent_with_call(self, a, b, threshold):
+        metric = AbsoluteError()
+        assert metric.within(a, b, threshold) == (metric(a, b) <= threshold)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["sse", "absolute", "relative"])
+    def test_lookup(self, name):
+        assert metric_by_name(name).name == name
+
+    def test_kwargs_forwarded(self):
+        metric = metric_by_name("relative", sanity_bound=2.0)
+        assert metric.sanity_bound == 2.0
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            metric_by_name("l2")

@@ -1,0 +1,121 @@
+"""Tests for Lemma 1: least-squares line fitting.
+
+The property-based tests cross-check the closed form against
+scipy.stats.linregress and verify optimality directly (no nearby line
+achieves a lower sse).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.stats
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.models.regression import (
+    LinearModel,
+    fit_line,
+    mean_sse_of_model,
+    no_answer_sse,
+    sse_of_model,
+)
+
+coordinate = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+pair_lists = st.lists(st.tuples(coordinate, coordinate), min_size=2, max_size=40)
+
+
+class TestLinearModel:
+    def test_predict(self):
+        model = LinearModel(slope=2.0, intercept=1.0)
+        assert model.predict(3.0) == 7.0
+
+    def test_unpacking(self):
+        a, b = LinearModel(slope=2.0, intercept=1.0)
+        assert (a, b) == (2.0, 1.0)
+
+
+class TestFitLine:
+    def test_exact_line_recovered(self):
+        pairs = [(x, 3.0 * x + 2.0) for x in (0.0, 1.0, 2.0, 5.0)]
+        model = fit_line(pairs)
+        assert model.slope == pytest.approx(3.0)
+        assert model.intercept == pytest.approx(2.0)
+
+    def test_single_pair_constant_model(self):
+        model = fit_line([(4.0, 9.0)])
+        assert model.slope == 0.0
+        assert model.intercept == 9.0
+
+    def test_constant_x_uses_mean_of_y(self):
+        model = fit_line([(2.0, 1.0), (2.0, 3.0), (2.0, 8.0)])
+        assert model.slope == 0.0
+        assert model.intercept == pytest.approx(4.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fit_line([])
+
+    @given(pair_lists)
+    @settings(max_examples=60)
+    def test_matches_scipy(self, pairs):
+        xs = np.array([p[0] for p in pairs])
+        ys = np.array([p[1] for p in pairs])
+        assume(np.ptp(xs) > 1e-6)
+        expected = scipy.stats.linregress(xs, ys)
+        model = fit_line(pairs)
+        scale = max(1.0, abs(expected.slope), abs(expected.intercept))
+        assert model.slope == pytest.approx(expected.slope, abs=1e-6 * scale)
+        assert model.intercept == pytest.approx(expected.intercept, abs=1e-6 * scale)
+
+    @given(
+        pair_lists,
+        st.floats(min_value=-1.0, max_value=1.0),
+        st.floats(min_value=-1.0, max_value=1.0),
+    )
+    @settings(max_examples=60)
+    def test_optimality(self, pairs, slope_nudge, intercept_nudge):
+        """No perturbed line beats the fitted one (Lemma 1's claim)."""
+        model = fit_line(pairs)
+        perturbed = LinearModel(
+            slope=model.slope + slope_nudge, intercept=model.intercept + intercept_nudge
+        )
+        fitted_sse = sse_of_model(pairs, model)
+        perturbed_sse = sse_of_model(pairs, perturbed)
+        assert fitted_sse <= perturbed_sse + 1e-6 * max(1.0, perturbed_sse)
+
+
+class TestErrorHelpers:
+    def test_sse_of_model(self):
+        pairs = [(0.0, 1.0), (1.0, 3.0)]
+        model = LinearModel(slope=0.0, intercept=0.0)
+        assert sse_of_model(pairs, model) == pytest.approx(10.0)
+
+    def test_mean_sse(self):
+        pairs = [(0.0, 1.0), (1.0, 3.0)]
+        model = LinearModel(slope=0.0, intercept=0.0)
+        assert mean_sse_of_model(pairs, model) == pytest.approx(5.0)
+
+    def test_mean_sse_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_sse_of_model([], LinearModel(0.0, 0.0))
+
+    def test_no_answer_sse_is_zero_estimate(self):
+        pairs = [(9.0, 2.0), (9.0, -4.0)]
+        assert no_answer_sse(pairs) == pytest.approx((4.0 + 16.0) / 2)
+
+    def test_no_answer_sse_empty_rejected(self):
+        with pytest.raises(ValueError):
+            no_answer_sse([])
+
+    @given(pair_lists)
+    @settings(max_examples=40)
+    def test_fitted_beats_no_answer_when_useful(self, pairs):
+        """benefit = no_answer - fitted sse is at least the zero-line gap."""
+        model = fit_line(pairs)
+        fitted = mean_sse_of_model(pairs, model)
+        zero_line = mean_sse_of_model(pairs, LinearModel(0.0, 0.0))
+        assert fitted <= zero_line + 1e-6 * max(1.0, zero_line)
+        assert no_answer_sse(pairs) == pytest.approx(zero_line)

@@ -1,0 +1,130 @@
+"""Tests for mobility models and topology evolution."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.runtime import SnapshotRuntime
+from repro.data.series import Dataset
+from repro.network.mobility import GaussianDrift, RandomWaypoint, apply_mobility
+from repro.network.topology import Topology
+
+
+class TestRandomWaypoint:
+    def test_positions_stay_in_unit_square(self):
+        model = RandomWaypoint(speed=0.1)
+        rng = np.random.default_rng(0)
+        positions = [(0.5, 0.5)] * 10
+        for _ in range(50):
+            positions = model.step(positions, dt=1.0, rng=rng)
+            for x, y in positions:
+                assert 0.0 <= x <= 1.0 and 0.0 <= y <= 1.0
+
+    def test_speed_bounds_displacement(self):
+        model = RandomWaypoint(speed=0.05)
+        rng = np.random.default_rng(1)
+        positions = [(0.5, 0.5)]
+        moved = model.step(positions, dt=2.0, rng=rng)
+        displacement = math.hypot(moved[0][0] - 0.5, moved[0][1] - 0.5)
+        assert displacement <= 0.05 * 2.0 + 1e-9
+
+    def test_nodes_eventually_move(self):
+        model = RandomWaypoint(speed=0.1)
+        rng = np.random.default_rng(2)
+        positions = [(0.5, 0.5)] * 5
+        positions = model.step(positions, dt=5.0, rng=rng)
+        assert any((x, y) != (0.5, 0.5) for x, y in positions)
+
+    def test_pause_halts_motion_at_waypoint(self):
+        model = RandomWaypoint(speed=10.0, pause=100.0)
+        rng = np.random.default_rng(3)
+        # speed 10 reaches any waypoint within dt=1; then pauses
+        first = model.step([(0.5, 0.5)], dt=1.0, rng=rng)
+        second = model.step(first, dt=1.0, rng=rng)
+        assert first == second  # pausing
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint(speed=0.0)
+        with pytest.raises(ValueError):
+            RandomWaypoint(speed=1.0, pause=-1.0)
+
+
+class TestGaussianDrift:
+    def test_positions_stay_in_unit_square(self):
+        model = GaussianDrift(sigma_per_unit_time=0.2)
+        rng = np.random.default_rng(4)
+        positions = [(0.01, 0.99)] * 20
+        for _ in range(30):
+            positions = model.step(positions, dt=1.0, rng=rng)
+            for x, y in positions:
+                assert 0.0 <= x < 1.0 and 0.0 <= y < 1.0
+
+    def test_drift_scale(self):
+        model = GaussianDrift(sigma_per_unit_time=0.01)
+        rng = np.random.default_rng(5)
+        positions = [(0.5, 0.5)] * 500
+        moved = model.step(positions, dt=1.0, rng=rng)
+        displacements = [math.hypot(x - 0.5, y - 0.5) for x, y in moved]
+        # rms displacement ~ sigma * sqrt(2)
+        rms = math.sqrt(sum(d * d for d in displacements) / len(displacements))
+        assert rms == pytest.approx(0.01 * math.sqrt(2), rel=0.25)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            GaussianDrift(sigma_per_unit_time=0.0)
+
+
+class TestRuntimeIntegration:
+    def make_runtime(self) -> SnapshotRuntime:
+        base = np.linspace(0.0, 30.0, 600)
+        values = np.stack([base + 0.4 * i for i in range(8)])
+        dataset = Dataset(values)
+        topology = Topology([(0.1 + 0.1 * i, 0.5) for i in range(8)], ranges=0.25)
+        return SnapshotRuntime(
+            topology, dataset,
+            ProtocolConfig(threshold=5.0, heartbeat_period=20.0),
+            seed=8,
+        )
+
+    def test_mobility_rebuilds_topology(self):
+        runtime = self.make_runtime()
+        before = [runtime.topology.position(i) for i in range(8)]
+        apply_mobility(runtime, RandomWaypoint(speed=0.05), period=10.0)
+        runtime.advance_to(50.0)
+        after = [runtime.topology.position(i) for i in range(8)]
+        assert before != after
+        # protocol nodes see their new locations
+        for node_id, node in runtime.nodes.items():
+            assert node.location == runtime.topology.position(node_id)
+
+    def test_stop_freezes_positions(self):
+        runtime = self.make_runtime()
+        task = apply_mobility(runtime, RandomWaypoint(speed=0.05), period=10.0)
+        runtime.advance_to(30.0)
+        frozen = [runtime.topology.position(i) for i in range(8)]
+        task.stop()
+        runtime.advance_to(100.0)
+        assert [runtime.topology.position(i) for i in range(8)] == frozen
+
+    def test_network_self_heals_under_mobility(self):
+        """Nodes drifting out of their representative's range re-elect
+        via heartbeat timeouts; the structure stays consistent."""
+        runtime = self.make_runtime()
+        runtime.train(duration=10)
+        runtime.run_election()
+        runtime.start_maintenance()
+        apply_mobility(runtime, RandomWaypoint(speed=0.02), period=5.0)
+        runtime.advance_to(runtime.now + 200)
+        view = runtime.snapshot()
+        assert 1 <= view.size <= 8
+        from repro.core.status import NodeMode
+
+        for node in runtime.nodes.values():
+            assert node.mode is not None
+            if node.mode is NodeMode.PASSIVE:
+                assert node.representative_id is not None

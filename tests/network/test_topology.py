@@ -1,0 +1,108 @@
+"""Tests for node placement and connectivity."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.network.topology import Topology, grid_topology, uniform_random_topology
+
+
+class TestTopology:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Topology([], ranges=1.0)
+
+    def test_rejects_nonpositive_range(self):
+        with pytest.raises(ValueError):
+            Topology([(0.0, 0.0)], ranges=0.0)
+
+    def test_rejects_mismatched_ranges(self):
+        with pytest.raises(ValueError):
+            Topology([(0.0, 0.0), (1.0, 1.0)], ranges=[0.5])
+
+    def test_distance(self):
+        topo = Topology([(0.0, 0.0), (3.0, 4.0)], ranges=10.0)
+        assert topo.distance(0, 1) == pytest.approx(5.0)
+
+    def test_out_neighbors_respect_range(self):
+        topo = Topology([(0.0, 0.0), (0.5, 0.0), (2.0, 0.0)], ranges=1.0)
+        assert topo.out_neighbors(0) == (1,)
+        assert set(topo.out_neighbors(1)) == {0}  # node 2 is 1.5 away
+        assert topo.out_neighbors(2) == ()
+
+    def test_asymmetric_links(self):
+        """Different per-node ranges make 'can transmit' directional."""
+        topo = Topology([(0.0, 0.0), (1.0, 0.0)], ranges=[2.0, 0.5])
+        assert topo.can_transmit(0, 1)
+        assert not topo.can_transmit(1, 0)
+        assert topo.out_neighbors(0) == (1,)
+        assert topo.out_neighbors(1) == ()
+        assert topo.in_neighbors(1) == (0,)
+        assert topo.in_neighbors(0) == ()
+
+    def test_no_self_neighbor(self):
+        topo = grid_topology(2, transmission_range=5.0)
+        for node in topo.node_ids:
+            assert node not in topo.out_neighbors(node)
+
+    def test_full_range_sees_everyone(self):
+        rng = np.random.default_rng(1)
+        topo = uniform_random_topology(30, math.sqrt(2), rng)
+        for node in topo.node_ids:
+            assert len(topo.out_neighbors(node)) == 29
+
+    def test_nodes_in_rect(self):
+        topo = Topology([(0.1, 0.1), (0.9, 0.9), (0.4, 0.6)], ranges=1.0)
+        assert topo.nodes_in_rect(0.0, 0.0, 0.5, 0.7) == [0, 2]
+
+    def test_connectivity_of_grid(self):
+        connected = grid_topology(3, transmission_range=0.5)
+        assert connected.is_connected()
+        sparse = grid_topology(3, transmission_range=0.1)
+        assert not sparse.is_connected()
+
+    def test_connectivity_with_subset(self):
+        topo = Topology(
+            [(0.0, 0.0), (0.3, 0.0), (1.0, 1.0)], ranges=0.5
+        )
+        assert not topo.is_connected()
+        assert topo.is_connected(alive=[0, 1])
+
+    def test_connectivity_uses_either_direction(self):
+        """A one-way link still connects the graph for coverage purposes."""
+        topo = Topology([(0.0, 0.0), (1.0, 0.0)], ranges=[2.0, 0.1])
+        assert topo.is_connected()
+
+
+class TestGenerators:
+    def test_uniform_positions_in_unit_square(self):
+        rng = np.random.default_rng(5)
+        topo = uniform_random_topology(50, 0.3, rng)
+        assert len(topo) == 50
+        for node in topo.node_ids:
+            x, y = topo.position(node)
+            assert 0.0 <= x < 1.0 and 0.0 <= y < 1.0
+
+    def test_uniform_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            uniform_random_topology(0, 0.3, np.random.default_rng(0))
+
+    def test_grid_shape(self):
+        topo = grid_topology(4, transmission_range=0.3)
+        assert len(topo) == 16
+        assert topo.position(0) == (0.125, 0.125)
+        assert topo.position(15) == (0.875, 0.875)
+
+    def test_grid_rejects_bad_side(self):
+        with pytest.raises(ValueError):
+            grid_topology(0, transmission_range=0.3)
+
+    def test_determinism(self):
+        a = uniform_random_topology(10, 0.5, np.random.default_rng(3))
+        b = uniform_random_topology(10, 0.5, np.random.default_rng(3))
+        assert [a.position(i) for i in a.node_ids] == [
+            b.position(i) for i in b.node_ids
+        ]

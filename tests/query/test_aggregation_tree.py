@@ -1,0 +1,117 @@
+"""Tests for TAG-style aggregation trees."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.links import GlobalLoss
+from repro.network.topology import Topology, grid_topology
+from repro.query.aggregation_tree import AggregationTree
+
+
+def line_topology(n: int, spacing: float = 0.1, reach: float = 0.15) -> Topology:
+    return Topology([(spacing * i, 0.0) for i in range(n)], ranges=reach)
+
+
+class TestConstruction:
+    def test_single_hop_star(self):
+        topo = grid_topology(3, transmission_range=2.0)
+        tree = AggregationTree.build(
+            topo, sink=4, alive=set(topo.node_ids), rng=np.random.default_rng(0)
+        )
+        assert tree.members == frozenset(topo.node_ids)
+        assert all(tree.parent(n) == 4 for n in topo.node_ids if n != 4)
+        assert tree.depths[0] == 1
+
+    def test_multi_hop_line(self):
+        topo = line_topology(5)
+        tree = AggregationTree.build(
+            topo, sink=0, alive=set(topo.node_ids), rng=np.random.default_rng(0)
+        )
+        assert tree.path_to_sink(4) == [4, 3, 2, 1, 0]
+        assert tree.depths[4] == 4
+
+    def test_dead_nodes_break_the_flood(self):
+        topo = line_topology(5)
+        tree = AggregationTree.build(
+            topo, sink=0, alive={0, 1, 3, 4}, rng=np.random.default_rng(0)
+        )
+        # node 2 is dead: nodes 3 and 4 are unreachable
+        assert 3 not in tree.members
+        assert 4 not in tree.members
+
+    def test_dead_sink_rejected(self):
+        topo = line_topology(3)
+        with pytest.raises(ValueError):
+            AggregationTree.build(topo, sink=0, alive={1, 2}, rng=np.random.default_rng(0))
+
+    def test_total_loss_yields_singleton(self):
+        topo = line_topology(4)
+        tree = AggregationTree.build(
+            topo,
+            sink=0,
+            alive=set(topo.node_ids),
+            rng=np.random.default_rng(0),
+            loss_model=GlobalLoss(1.0),
+        )
+        assert tree.members == frozenset({0})
+
+    def test_prefer_chooses_representative_parent(self):
+        # nodes 1 and 2 both reach node 3; node 2 is preferred
+        topo = Topology(
+            [(0.0, 0.0), (0.1, 0.05), (0.1, -0.05), (0.2, 0.0)], ranges=0.15
+        )
+        rng = np.random.default_rng(0)
+        plain = AggregationTree.build(topo, 0, set(topo.node_ids), rng)
+        assert plain.parent(3) == 1  # smallest id wins by default
+        preferred = AggregationTree.build(
+            topo, 0, set(topo.node_ids), np.random.default_rng(0), prefer={2}
+        )
+        assert preferred.parent(3) == 2
+
+
+class TestRouters:
+    def test_direct_responder_needs_no_router(self):
+        topo = grid_topology(2, transmission_range=2.0)
+        tree = AggregationTree.build(
+            topo, sink=0, alive=set(topo.node_ids), rng=np.random.default_rng(0)
+        )
+        assert tree.routers_for([3]) == frozenset()
+
+    def test_line_routers(self):
+        topo = line_topology(5)
+        tree = AggregationTree.build(
+            topo, sink=0, alive=set(topo.node_ids), rng=np.random.default_rng(0)
+        )
+        assert tree.routers_for([4]) == frozenset({1, 2, 3})
+
+    def test_responders_excluded_from_routers(self):
+        topo = line_topology(5)
+        tree = AggregationTree.build(
+            topo, sink=0, alive=set(topo.node_ids), rng=np.random.default_rng(0)
+        )
+        assert tree.routers_for([4, 2]) == frozenset({1, 3})
+
+    def test_unreachable_responder_ignored(self):
+        topo = line_topology(5)
+        tree = AggregationTree.build(
+            topo, sink=0, alive={0, 1}, rng=np.random.default_rng(0)
+        )
+        assert tree.routers_for([4]) == frozenset()
+
+    def test_path_of_nonmember_raises(self):
+        topo = line_topology(3)
+        tree = AggregationTree.build(
+            topo, sink=0, alive={0, 1}, rng=np.random.default_rng(0)
+        )
+        with pytest.raises(KeyError):
+            tree.path_to_sink(2)
+
+    def test_subtree_size(self):
+        topo = line_topology(4)
+        tree = AggregationTree.build(
+            topo, sink=0, alive=set(topo.node_ids), rng=np.random.default_rng(0)
+        )
+        assert tree.subtree_size(1) == 3  # nodes 1, 2, 3 route through 1
+        assert tree.subtree_size(0) == 4

@@ -1,0 +1,119 @@
+"""Tests for query formatting, including the parse/format round trip."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.ast import Aggregate, Comparison, Query, ValuePredicate
+from repro.query.formatting import format_query, format_region
+from repro.query.parser import parse_query
+from repro.query.spatial import Circle, Everywhere, Rect, named_region
+
+# -- strategies ------------------------------------------------------------
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False).map(
+    lambda value: round(value, 3)
+)
+
+
+@st.composite
+def rects(draw):
+    x1, x2 = sorted((draw(unit), draw(unit)))
+    y1, y2 = sorted((draw(unit), draw(unit)))
+    return Rect(x1, y1, x2, y2)
+
+
+@st.composite
+def circles(draw):
+    return Circle(draw(unit), draw(unit), draw(unit))
+
+
+regions = st.one_of(st.just(Everywhere()), rects(), circles())
+
+identifiers = st.sampled_from(["value", "temperature", "humidity", "loc"])
+
+
+@st.composite
+def queries(draw):
+    aggregate = draw(st.sampled_from([None] + list(Aggregate)))
+    select = ("loc", "value") if aggregate is None else ()
+    predicate = draw(
+        st.one_of(
+            st.none(),
+            st.builds(
+                ValuePredicate,
+                attribute=st.sampled_from(["temperature", "humidity"]),
+                op=st.sampled_from(list(Comparison)),
+                constant=st.integers(min_value=-50, max_value=50).map(float),
+            ),
+        )
+    )
+    interval = draw(st.sampled_from([None, 1.0, 5.0, 60.0, 3600.0]))
+    duration = None if interval is None else interval * draw(
+        st.integers(min_value=1, max_value=10)
+    )
+    use_snapshot = draw(st.booleans())
+    threshold = None
+    if use_snapshot:
+        threshold = draw(st.sampled_from([None, 0.5, 1.0, 10.0]))
+    return Query(
+        select=select,
+        aggregate=aggregate,
+        aggregate_attribute="value" if aggregate is None else draw(identifiers),
+        region=draw(regions),
+        value_predicate=predicate,
+        sample_interval=interval,
+        duration=duration,
+        use_snapshot=use_snapshot,
+        snapshot_threshold=threshold,
+    )
+
+
+class TestFormatRegion:
+    def test_rect(self):
+        assert format_region(Rect(0.0, 0.1, 0.5, 0.9)) == "RECT(0, 0.1, 0.5, 0.9)"
+
+    def test_circle(self):
+        assert format_region(Circle(0.5, 0.5, 0.2)) == "CIRCLE(0.5, 0.5, 0.2)"
+
+    def test_named_region_canonicalized(self):
+        region = named_region("SHOUTH_EAST_QUANDRANT")
+        assert format_region(region) == "SOUTH_EAST_QUADRANT"
+
+    def test_everywhere_has_no_syntax(self):
+        with pytest.raises(ValueError):
+            format_region(Everywhere())
+
+
+class TestFormatQuery:
+    def test_paper_example(self):
+        text = (
+            "SELECT loc, temperature FROM sensors "
+            "WHERE loc IN SOUTH_EAST_QUADRANT "
+            "SAMPLE INTERVAL 1s FOR 5 min USE SNAPSHOT"
+        )
+        assert format_query(parse_query(text)) == text
+
+    def test_with_error_clause(self):
+        text = "SELECT loc, value FROM sensors USE SNAPSHOT WITH ERROR 0.5"
+        assert format_query(parse_query(text)) == text
+
+    @given(queries())
+    @settings(max_examples=150, deadline=None)
+    def test_round_trip(self, query):
+        """parse(format(q)) reproduces q exactly."""
+        reparsed = parse_query(format_query(query))
+        # select lists only matter for drill-through
+        if query.is_aggregate:
+            assert reparsed.aggregate is query.aggregate
+            assert reparsed.aggregate_attribute == query.aggregate_attribute
+        else:
+            assert reparsed.select == query.select
+        assert reparsed.region == query.region
+        assert reparsed.value_predicate == query.value_predicate
+        assert reparsed.sample_interval == query.sample_interval
+        assert reparsed.duration == query.duration
+        assert reparsed.use_snapshot == query.use_snapshot
+        assert reparsed.snapshot_threshold == query.snapshot_threshold

@@ -1,0 +1,153 @@
+"""Tests for the SQL-dialect parser (§3.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.ast import Aggregate, Comparison, Query
+from repro.query.parser import QuerySyntaxError, parse_query
+from repro.query.spatial import Circle, Everywhere, Rect, named_region
+
+
+class TestPaperExample:
+    def test_the_section31_query(self):
+        query = parse_query(
+            "SELECT loc, temperature FROM sensors "
+            "WHERE loc in SHOUTH_EAST_QUANDRANT "
+            "SAMPLE INTERVAL 1sec for 5min "
+            "USE SNAPSHOT"
+        )
+        assert query.select == ("loc", "temperature")
+        assert query.aggregate is None
+        assert query.region == named_region("SOUTH_EAST_QUADRANT")
+        assert query.sample_interval == 1.0
+        assert query.duration == 300.0
+        assert query.rounds == 300
+        assert query.use_snapshot
+
+
+class TestSelection:
+    def test_plain_projection(self):
+        query = parse_query("SELECT loc FROM sensors")
+        assert query.select == ("loc",)
+        assert not query.is_aggregate
+
+    def test_aggregates(self):
+        for name, agg in [
+            ("SUM", Aggregate.SUM),
+            ("AVG", Aggregate.AVG),
+            ("MIN", Aggregate.MIN),
+            ("MAX", Aggregate.MAX),
+            ("COUNT", Aggregate.COUNT),
+        ]:
+            query = parse_query(f"SELECT {name}(temperature) FROM sensors")
+            assert query.aggregate is agg
+            assert query.aggregate_attribute == "temperature"
+
+    def test_count_star(self):
+        query = parse_query("SELECT COUNT(*) FROM sensors")
+        assert query.aggregate is Aggregate.COUNT
+        assert query.aggregate_attribute == "value"
+
+    def test_aggregate_named_column_without_parens_is_projection(self):
+        query = parse_query("SELECT sum FROM sensors")
+        assert query.aggregate is None
+        assert query.select == ("sum",)
+
+
+class TestWhere:
+    def test_rect_region(self):
+        query = parse_query(
+            "SELECT loc FROM sensors WHERE loc IN RECT(0.1, 0.2, 0.5, 0.9)"
+        )
+        assert query.region == Rect(0.1, 0.2, 0.5, 0.9)
+
+    def test_circle_region(self):
+        query = parse_query(
+            "SELECT loc FROM sensors WHERE loc IN CIRCLE(0.5, 0.5, 0.2)"
+        )
+        assert query.region == Circle(0.5, 0.5, 0.2)
+
+    def test_value_predicate(self):
+        query = parse_query("SELECT loc FROM sensors WHERE temperature >= 5")
+        assert query.value_predicate is not None
+        assert query.value_predicate.op is Comparison.GE
+        assert query.value_predicate.matches(5.0)
+        assert not query.value_predicate.matches(4.9)
+
+    def test_combined_conditions(self):
+        query = parse_query(
+            "SELECT loc FROM sensors "
+            "WHERE loc IN NORTH_WEST_QUADRANT AND humidity < 0.8"
+        )
+        assert query.region == named_region("NORTH_WEST_QUADRANT")
+        assert query.value_predicate.attribute == "humidity"
+
+    def test_no_where_means_everywhere(self):
+        query = parse_query("SELECT loc FROM sensors")
+        assert isinstance(query.region, Everywhere)
+
+    def test_two_spatial_conditions_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(
+                "SELECT loc FROM sensors "
+                "WHERE loc IN NORTH_WEST_QUADRANT AND loc IN SOUTH_EAST_QUADRANT"
+            )
+
+
+class TestAcquisitionClauses:
+    @pytest.mark.parametrize(
+        "text,seconds",
+        [("10s", 10.0), ("1sec", 1.0), ("2 min", 120.0), ("1 hour", 3600.0)],
+    )
+    def test_time_units(self, text, seconds):
+        query = parse_query(
+            f"SELECT loc FROM sensors SAMPLE INTERVAL {text} FOR 2 hours"
+        )
+        assert query.sample_interval == seconds
+
+    def test_snapshot_with_error(self):
+        query = parse_query("SELECT loc FROM sensors USE SNAPSHOT WITH ERROR 0.5")
+        assert query.use_snapshot
+        assert query.snapshot_threshold == 0.5
+
+    def test_missing_for_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT loc FROM sensors SAMPLE INTERVAL 1s")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "SELECT FROM sensors",
+            "UPDATE sensors SET x = 1",
+            "SELECT loc FROM sensors garbage",
+            "SELECT loc FROM sensors WHERE loc IN RECT(0.1, 0.2)",
+            "SELECT loc FROM sensors SAMPLE INTERVAL fast FOR 5min",
+            "SELECT loc FROM sensors USE",
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(text)
+
+    def test_unexpected_character(self):
+        with pytest.raises(QuerySyntaxError, match="unexpected character"):
+            parse_query("SELECT loc FROM sensors; DROP TABLE sensors")
+
+
+class TestQueryValidation:
+    def test_threshold_without_snapshot_rejected(self):
+        with pytest.raises(ValueError):
+            Query(use_snapshot=False, snapshot_threshold=1.0)
+
+    def test_nonpositive_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Query(sample_interval=0.0)
+
+    def test_rounds_computation(self):
+        assert Query().rounds == 1
+        assert Query(sample_interval=2.0, duration=10.0).rounds == 5
+        assert Query(sample_interval=10.0, duration=5.0).rounds == 1

@@ -1,0 +1,132 @@
+"""End-to-end query-layer integration: parse → execute → snoop.
+
+These tests join the parser, executor, radio and model layer: query
+text drives real networks, and the side channel the paper relies on —
+neighbors snooping query reports to fine-tune models (§3, §6.3) —
+actually updates the caches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.runtime import SnapshotRuntime
+from repro.data.series import Dataset
+from repro.network.topology import Topology
+from repro.query.executor import QueryExecutor
+from repro.query.parser import parse_query
+
+
+def ramp_runtime(n: int = 9, snoop: float = 1.0, seed: int = 4) -> SnapshotRuntime:
+    base = np.linspace(0.0, 50.0, 400)
+    values = np.stack([base + 2.0 * i for i in range(n)])
+    dataset = Dataset(values)
+    side = int(np.ceil(np.sqrt(n)))
+    positions = [
+        ((0.5 + col) / side, (0.5 + row) / side)
+        for row in range(side)
+        for col in range(side)
+    ][:n]
+    topology = Topology(positions, ranges=2.0)
+    return SnapshotRuntime(
+        topology, dataset,
+        ProtocolConfig(threshold=8.0, snoop_probability=snoop),
+        seed=seed,
+    )
+
+
+class TestParsedQueriesEndToEnd:
+    def test_drill_through_with_spatial_filter(self):
+        runtime = ramp_runtime()
+        runtime.train(duration=10)
+        executor = QueryExecutor(runtime)
+        result = executor.execute(
+            parse_query(
+                "SELECT loc, value FROM sensors WHERE loc IN RECT(0,0,0.5,0.5)"
+            ),
+            sink=8,
+        )
+        expected = set(runtime.topology.nodes_in_rect(0.0, 0.0, 0.5, 0.5))
+        assert set(result.reports) == expected
+
+    def test_aggregate_over_snapshot_approximates_truth(self):
+        runtime = ramp_runtime()
+        runtime.train(duration=10)
+        runtime.run_election()
+        executor = QueryExecutor(runtime)
+        regular = executor.execute(
+            parse_query("SELECT AVG(value) FROM sensors"), sink=0
+        )
+        snapshot = executor.execute(
+            parse_query("SELECT AVG(value) FROM sensors USE SNAPSHOT"), sink=0
+        )
+        assert snapshot.aggregate_value == pytest.approx(
+            regular.aggregate_value, abs=4.0
+        )
+        assert snapshot.n_participants <= regular.n_participants
+
+    def test_sampling_clauses_drive_rounds(self):
+        runtime = ramp_runtime()
+        runtime.train(duration=10)
+        executor = QueryExecutor(runtime)
+        query = parse_query(
+            "SELECT loc, value FROM sensors SAMPLE INTERVAL 1s FOR 5s"
+        )
+        before = runtime.stats.sent_of_kind("DataReport")
+        result = executor.execute(query, sink=0)
+        assert result.rounds == 5
+        assert runtime.stats.sent_of_kind("DataReport") - before >= 5 * (
+            len(result.responders) - 1
+        )
+
+
+class TestSnoopingSideChannel:
+    def test_query_reports_update_neighbor_models(self):
+        runtime = ramp_runtime(snoop=1.0)
+        # no training at all: models start empty
+        executor = QueryExecutor(runtime)
+        assert runtime.nodes[0].store.model(1) is None
+        executor.execute(parse_query("SELECT loc, value FROM sensors"), sink=8)
+        runtime.advance_to(runtime.now + 1)  # let the radio deliveries fire
+        # node 0 overheard node 1's report and cached the pair
+        assert runtime.nodes[0].store.model(1) is not None
+
+    def test_zero_snoop_probability_learns_nothing(self):
+        runtime = ramp_runtime(snoop=0.0)
+        executor = QueryExecutor(runtime)
+        executor.execute(parse_query("SELECT loc, value FROM sensors"), sink=8)
+        runtime.advance_to(runtime.now + 1)
+        assert runtime.nodes[0].store.model(1) is None
+
+    def test_partial_snooping_statistics(self):
+        runtime = ramp_runtime(snoop=0.3, seed=11)
+        executor = QueryExecutor(runtime)
+        for _ in range(30):
+            executor.execute(parse_query("SELECT loc, value FROM sensors"), sink=8)
+            runtime.advance_to(runtime.now + 1)
+        line_lengths = [
+            len(runtime.nodes[0].store.policy.line(j) or [])
+            for j in (1, 2, 3)
+        ]
+        # roughly 30% of 30 reports each — loose statistical band
+        assert all(2 <= length <= 20 for length in line_lengths)
+
+    def test_estimated_reports_never_poison_models(self):
+        runtime = ramp_runtime(snoop=1.0)
+        runtime.train(duration=10)
+        runtime.run_election()
+        executor = QueryExecutor(runtime)
+        # snapshot queries carry estimated member bundles
+        executor.execute(
+            parse_query("SELECT loc, value FROM sensors USE SNAPSHOT"), sink=0
+        )
+        # no cache line may contain a pair recorded from an estimated
+        # or forwarded report: we can't observe that directly, but the
+        # runtime must still produce accurate estimates afterwards
+        for node in runtime.nodes.values():
+            for neighbor in node.store.known_neighbors():
+                estimate = node.store.estimate(neighbor, node.value_fn())
+                truth = runtime.value_of(neighbor)
+                assert estimate == pytest.approx(truth, abs=10.0)

@@ -1,0 +1,93 @@
+"""Property-based tests of aggregation-tree invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.links import GlobalLoss
+from repro.network.topology import Topology
+from repro.query.aggregation_tree import AggregationTree
+
+
+@st.composite
+def topologies(draw):
+    n = draw(st.integers(min_value=2, max_value=25))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    positions = [(float(x), float(y)) for x, y in rng.random((n, 2))]
+    reach = draw(st.floats(min_value=0.2, max_value=1.5))
+    return Topology(positions, reach)
+
+
+@given(
+    topologies(),
+    st.integers(min_value=0, max_value=10_000),
+    st.floats(min_value=0.0, max_value=0.9),
+)
+@settings(max_examples=60, deadline=None)
+def test_tree_structural_invariants(topology, seed, loss):
+    rng = np.random.default_rng(seed)
+    sink = int(rng.integers(0, len(topology)))
+    alive = set(topology.node_ids)
+    tree = AggregationTree.build(
+        topology, sink, alive, rng, loss_model=GlobalLoss(loss)
+    )
+
+    # the sink is always a member and its own parent at depth 0
+    assert tree.parent(sink) == sink
+    assert tree.depths[sink] == 0
+
+    for member in tree.members:
+        parent = tree.parents[member]
+        # parents are members; depth decreases by exactly one per hop
+        assert parent in tree.members
+        if member != sink:
+            assert tree.depths[member] == tree.depths[parent] + 1
+            # radio feasibility: the parent can actually transmit to us
+            assert topology.can_transmit(parent, member)
+        # paths terminate at the sink and have depth+1 nodes
+        path = tree.path_to_sink(member)
+        assert path[0] == member
+        assert path[-1] == sink
+        assert len(path) == tree.depths[member] + 1
+
+
+@given(topologies(), st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_lossless_tree_spans_reachable_nodes(topology, seed):
+    """Without loss, the tree contains exactly the nodes reachable from
+    the sink over directed radio links."""
+    rng = np.random.default_rng(seed)
+    sink = int(rng.integers(0, len(topology)))
+    tree = AggregationTree.build(topology, sink, set(topology.node_ids), rng)
+
+    reachable = {sink}
+    frontier = [sink]
+    while frontier:
+        current = frontier.pop()
+        for neighbor in topology.out_neighbors(current):
+            if neighbor not in reachable:
+                reachable.add(neighbor)
+                frontier.append(neighbor)
+    assert tree.members == frozenset(reachable)
+
+
+@given(topologies(), st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_routers_disjoint_from_responders(topology, seed):
+    rng = np.random.default_rng(seed)
+    sink = int(rng.integers(0, len(topology)))
+    tree = AggregationTree.build(topology, sink, set(topology.node_ids), rng)
+    members = sorted(tree.members)
+    responders = set(members[:: max(1, len(members) // 3)])
+    routers = tree.routers_for(responders)
+    assert not (routers & responders)
+    assert sink not in routers
+    # every router lies on some responder's path
+    on_paths = set()
+    for responder in responders:
+        if responder in tree.members:
+            on_paths.update(tree.path_to_sink(responder)[1:-1])
+    assert routers <= on_paths

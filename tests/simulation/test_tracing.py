@@ -1,0 +1,48 @@
+"""Unit tests for the trace log."""
+
+from __future__ import annotations
+
+from repro.simulation.tracing import TraceLog
+
+
+class TestTraceLog:
+    def test_counts_by_kind(self):
+        log = TraceLog()
+        log.emit(0.0, "a")
+        log.emit(1.0, "a", detail=1)
+        log.emit(2.0, "b")
+        assert log.count("a") == 2
+        assert log.count("b") == 1
+        assert log.count("missing") == 0
+
+    def test_records_payloads(self):
+        log = TraceLog()
+        log.emit(3.0, "node.died", node=7)
+        (record,) = log.of_kind("node.died")
+        assert record.time == 3.0
+        assert record.payload == {"node": 7}
+
+    def test_keep_records_false_still_counts(self):
+        log = TraceLog(keep_records=False)
+        log.emit(0.0, "x")
+        log.emit(0.0, "x")
+        assert log.count("x") == 2
+        assert log.of_kind("x") == []
+
+    def test_subscribers_called(self):
+        log = TraceLog()
+        seen = []
+        log.subscribe("alert", lambda record: seen.append(record.payload["level"]))
+        log.emit(0.0, "alert", level=3)
+        log.emit(0.0, "other", level=9)
+        assert seen == [3]
+
+    def test_clear_resets_counts_not_subscribers(self):
+        log = TraceLog()
+        seen = []
+        log.subscribe("k", lambda record: seen.append(1))
+        log.emit(0.0, "k")
+        log.clear()
+        assert log.count("k") == 0
+        log.emit(1.0, "k")
+        assert seen == [1, 1]

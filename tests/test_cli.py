@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.nodes == 100
+        assert args.threshold == 1.0
+
+    def test_query_options(self):
+        args = build_parser().parse_args(
+            ["query", "SELECT loc FROM sensors", "--sink", "3", "--plan"]
+        )
+        assert args.sql == "SELECT loc FROM sensors"
+        assert args.sink == 3
+        assert args.plan
+
+    def test_experiment_id(self):
+        args = build_parser().parse_args(["experiment", "fig6"])
+        assert args.id == "fig6"
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_demo_runs(self, capsys):
+        code = main(["demo", "--nodes", "20", "--classes", "2", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "snapshot:" in out
+        assert "representatives" in out
+
+    def test_query_aggregate(self, capsys):
+        code = main(
+            [
+                "query",
+                "SELECT AVG(value) FROM sensors USE SNAPSHOT",
+                "--nodes", "20", "--classes", "2", "--seed", "1", "--sink", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "answer:" in out
+        assert "coverage:" in out
+
+    def test_query_with_planner(self, capsys):
+        code = main(
+            [
+                "query",
+                "SELECT loc, value FROM sensors",
+                "--plan", "--nodes", "20", "--classes", "2", "--seed", "1",
+                "--sink", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan:" in out
+        assert "ran :" in out
+
+    def test_query_syntax_error(self, capsys):
+        code = main(["query", "DROP TABLE sensors", "--nodes", "20"])
+        assert code == 2
+        assert "syntax error" in capsys.readouterr().err
+
+    def test_unknown_experiment(self, capsys):
+        code = main(["experiment", "fig99"])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err

@@ -1,0 +1,30 @@
+"""Run the doctests embedded in the library's docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.core.runtime
+import repro.models.cache
+import repro.models.metrics
+import repro.query.parser
+import repro.query.spatial
+import repro.simulation.rng
+
+MODULES = [
+    repro.models.cache,
+    repro.models.metrics,
+    repro.query.parser,
+    repro.query.spatial,
+    repro.simulation.rng,
+    repro.core.runtime,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no doctests to run"
+    assert results.failed == 0
