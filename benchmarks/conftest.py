@@ -16,6 +16,7 @@ output is the printed/saved table.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -39,11 +40,22 @@ def is_paper_scale() -> bool:
 
 @pytest.fixture
 def report():
-    """Print a result block and persist it under ``benchmarks/results/``."""
+    """Print a result block and persist it under ``benchmarks/results/``.
 
-    def save(name: str, text: str) -> None:
+    ``save(name, text)`` writes ``results/<name>.txt``.  Pass ``data``
+    (any JSON-serializable object) to additionally emit
+    ``results/<name>.json`` — a machine-readable record (e.g. ops/sec
+    of the perf microbenchmarks) that future PRs can diff to track the
+    performance trajectory.
+    """
+
+    def save(name: str, text: str, data=None) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        if data is not None:
+            (RESULTS_DIR / f"{name}.json").write_text(
+                json.dumps(data, indent=2, sort_keys=True) + "\n"
+            )
         print("\n" + text)
 
     return save

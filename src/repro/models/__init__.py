@@ -6,7 +6,13 @@ that allocates a node's few hundred bytes of memory to the models that
 yield the highest accuracy — plus the round-robin baseline of Figure 8.
 """
 
-from repro.models.cache import BYTES_PER_PAIR, BYTES_PER_VALUE, CacheLine, pairs_for_budget
+from repro.models.cache import (
+    BYTES_PER_PAIR,
+    BYTES_PER_VALUE,
+    STATS_SYNC_INTERVAL,
+    CacheLine,
+    pairs_for_budget,
+)
 from repro.models.cache_manager import ModelAwareCache
 from repro.models.estimator import NeighborModelStore
 from repro.models.metrics import (
@@ -19,6 +25,7 @@ from repro.models.metrics import (
 from repro.models.policy import Action, CachePolicy
 from repro.models.regression import (
     LinearModel,
+    RegressionStats,
     fit_line,
     mean_sse_of_model,
     no_answer_sse,
@@ -38,8 +45,10 @@ __all__ = [
     "LinearModel",
     "ModelAwareCache",
     "NeighborModelStore",
+    "RegressionStats",
     "RelativeError",
     "RoundRobinCache",
+    "STATS_SYNC_INTERVAL",
     "SumSquaredError",
     "fit_for_metric",
     "fit_line",

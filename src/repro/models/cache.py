@@ -4,8 +4,18 @@ A node's cache is a set of *cache lines*, one per neighbor it has heard
 from.  The cache line for neighbor ``N_j`` is a time-ordered list of
 pairs ``(x_i(t_k), x_j(t_k))`` — the node's own measurement and the
 neighbor's, sampled together.  Victims are always the *oldest* pair of
-some line: this both shifts the cache toward fresh observations and
-keeps every update linear in the line length.
+some line: this shifts the cache toward fresh observations.
+
+Each line additionally maintains the running sufficient statistics
+``(n, Σx, Σy, Σx², Σxy, Σy²)`` of its pairs
+(:class:`~repro.models.regression.RegressionStats`), updated in O(1)
+on ``append``/``evict_oldest``.  The fitted model, the benefit over the
+no-answer policy and the §4 eviction penalty are all closed forms over
+those statistics, so every quantity the cache manager scores is O(1) —
+no pass over the pairs, no list copies.  Because ``evict_oldest``
+*subtracts* from the sums, floating-point drift can accumulate; the
+line re-derives its statistics exactly from the stored pairs every
+:data:`STATS_SYNC_INTERVAL` evictions to keep the drift bounded.
 
 Budget accounting follows the paper exactly: values are 4-byte floats,
 so a pair occupies 8 bytes; a cache of 2,048 bytes holds 256 pairs.
@@ -14,21 +24,45 @@ so a pair occupies 8 bytes; a cache of 2,048 bytes holds 256 pairs.
 from __future__ import annotations
 
 from collections import deque
+from itertools import islice
 from typing import Iterator, Optional
 
 from repro.models.regression import (
     LinearModel,
-    fit_line,
-    mean_sse_of_model,
-    no_answer_sse,
+    RegressionStats,
+    batch_fit_coefficients,
+    fit_coefficients,
+    model_sse,
 )
 
-__all__ = ["CacheLine", "BYTES_PER_VALUE", "BYTES_PER_PAIR", "pairs_for_budget"]
+__all__ = [
+    "CacheLine",
+    "BYTES_PER_VALUE",
+    "BYTES_PER_PAIR",
+    "STATS_SYNC_INTERVAL",
+    "pairs_for_budget",
+]
+
+#: Relative margin under which a closed-form quantity is re-computed
+#: batch-style before it feeds a decision comparison.  The incremental
+#: forms reproduce the batch values only to ~1e-11 relative, so exact
+#: floating-point ties — which §4's strict comparisons resolve
+#: deterministically — must be re-scored the original way.  Scaled by
+#: the relevant no-answer baseline; genuine margins are many orders of
+#: magnitude wider, so the O(line length) fallback is rare.
+_NEAR_TIE_RTOL = 1e-9
 
 #: The paper represents measurements as 4-byte floats (§6.1).
 BYTES_PER_VALUE = 4
 #: A cached observation is a pair of values.
 BYTES_PER_PAIR = 2 * BYTES_PER_VALUE
+
+#: Evictions between exact recomputations of a line's running sums.
+#: Each eviction subtracts from the sums and can leave ~1 ulp of the
+#: running magnitude behind; re-deriving the sums from the stored pairs
+#: every K evictions bounds the accumulated drift at ~K ulps, far below
+#: anything the §4 decision comparisons can resolve.
+STATS_SYNC_INTERVAL = 64
 
 
 def pairs_for_budget(cache_bytes: int) -> int:
@@ -48,14 +82,31 @@ def pairs_for_budget(cache_bytes: int) -> int:
 class CacheLine:
     """Time-ordered ``(x_i, x_j)`` observations for one neighbor.
 
-    The fitted model and its benefit are cached and invalidated on
-    mutation, giving the amortized linear-time updates §4 calls for.
+    The fitted model, benefit and eviction penalty are derived from the
+    line's running :class:`RegressionStats` in O(1), cached, and
+    invalidated on mutation — the constant-time updates §4 calls for.
     """
+
+    __slots__ = (
+        "neighbor_id",
+        "_pairs",
+        "_stats",
+        "_model",
+        "_model_ab",
+        "_benefit",
+        "_penalty",
+        "_evictions_since_sync",
+    )
 
     def __init__(self, neighbor_id: int) -> None:
         self.neighbor_id = neighbor_id
         self._pairs: deque[tuple[float, float]] = deque()
+        self._stats = RegressionStats()
         self._model: Optional[LinearModel] = None
+        self._model_ab: Optional[tuple[float, float]] = None
+        self._benefit: Optional[float] = None
+        self._penalty: Optional[float] = None
+        self._evictions_since_sync = 0
 
     def __len__(self) -> int:
         return len(self._pairs)
@@ -65,16 +116,43 @@ class CacheLine:
 
     @property
     def pairs(self) -> list[tuple[float, float]]:
-        """The stored pairs, oldest first (a copy)."""
+        """The stored pairs, oldest first (a copy).
+
+        Diagnostic/test accessor — nothing on the decision hot path
+        touches it (see ``test_no_pair_copies_on_hot_path``).
+        """
         return list(self._pairs)
 
+    @property
+    def oldest(self) -> tuple[float, float]:
+        """The oldest stored pair (the §4 eviction victim), no copy.
+
+        Raises
+        ------
+        IndexError
+            If the line is empty.
+        """
+        return self._pairs[0]
+
+    @property
+    def stats(self) -> RegressionStats:
+        """The line's live sufficient statistics.
+
+        Treat as read-only; use :meth:`RegressionStats.with_pair` /
+        :meth:`RegressionStats.without_pair` to score hypothetical
+        mutations without touching the line.
+        """
+        return self._stats
+
     def append(self, own_value: float, neighbor_value: float) -> None:
-        """Store a new observation (newest position)."""
-        self._pairs.append((float(own_value), float(neighbor_value)))
-        self._model = None
+        """Store a new observation (newest position); O(1)."""
+        pair = (float(own_value), float(neighbor_value))
+        self._pairs.append(pair)
+        self._stats.add(*pair)
+        self._invalidate()
 
     def evict_oldest(self) -> tuple[float, float]:
-        """Remove and return the oldest observation.
+        """Remove and return the oldest observation; O(1) amortized.
 
         Raises
         ------
@@ -84,21 +162,60 @@ class CacheLine:
         if not self._pairs:
             raise IndexError(f"cache line for neighbor {self.neighbor_id} is empty")
         pair = self._pairs.popleft()
-        self._model = None
+        x, y = pair
+        stats = self._stats
+        # If the departing pair dominates a sum, the subtraction cancels
+        # catastrophically and the tiny residual would be mostly noise
+        # (e.g. removing x=91 from a line of x≈1 values).  Rebuild
+        # exactly instead of subtracting — rare, and O(n) only when a
+        # dominant value actually leaves the window.
+        dominant = x * x > 0.5 * stats.sum_xx or y * y > 0.5 * stats.sum_yy
+        stats.remove(x, y)
+        self._evictions_since_sync += 1
+        if dominant or self._evictions_since_sync >= STATS_SYNC_INTERVAL:
+            self._resync_stats()
+        self._invalidate()
         return pair
 
+    def model_coefficients(self) -> tuple[float, float]:
+        """The sse-optimal ``(slope, intercept)`` (cached, O(1)).
+
+        The allocation-free accessor the decision hot path uses;
+        :meth:`model` wraps the same cached fit in a :class:`LinearModel`.
+
+        Raises
+        ------
+        ValueError
+            If the line is empty.
+        """
+        if self._model_ab is None:
+            st = self._stats
+            if st.n == 0:
+                raise ValueError("cannot fit a model to an empty cache line")
+            self._model_ab = fit_coefficients(
+                st.n, st.sum_x, st.sum_y, st.sum_xx, st.sum_xy
+            )
+        return self._model_ab
+
     def model(self) -> LinearModel:
-        """The sse-optimal model for the stored pairs (cached)."""
+        """The sse-optimal model for the stored pairs (cached, O(1))."""
         if self._model is None:
-            self._model = fit_line(self.pairs)
+            self._model = LinearModel(*self.model_coefficients())
         return self._model
 
     def benefit(self) -> float:
         """``no_answer_sse(c) - sse(c, a*, b*)`` over the stored pairs (§4)."""
         if not self._pairs:
             return 0.0
-        pairs = self.pairs
-        return no_answer_sse(pairs) - mean_sse_of_model(pairs, self.model())
+        if self._benefit is None:
+            st = self._stats
+            a, b = self.model_coefficients()
+            sse = model_sse(
+                st.n, st.sum_x, st.sum_y, st.sum_xx, st.sum_xy, st.sum_yy, a, b
+            )
+            syy = st.sum_yy
+            self._benefit = ((syy if syy > 0.0 else 0.0) - sse) / st.n
+        return self._benefit
 
     def eviction_penalty(self) -> float:
         """§4's ``Penalty_Evict``: degradation from losing the oldest pair.
@@ -108,18 +225,116 @@ class CacheLine:
         are *evaluated over the full line* ``c'`` — the penalty measures
         how much worse all known observations would be served.  A line
         with a single pair has penalty equal to its full benefit (the
-        model disappears entirely).
+        model disappears entirely).  O(1) via the sufficient statistics.
         """
-        pairs = self.pairs
-        if not pairs:
+        if not self._pairs:
             return 0.0
-        full_benefit = self.benefit()
-        remaining = pairs[1:]
-        if not remaining:
-            return full_benefit
-        reduced_model = fit_line(remaining)
-        reduced_benefit = no_answer_sse(pairs) - mean_sse_of_model(pairs, reduced_model)
-        return full_benefit - reduced_benefit
+        if self._penalty is None:
+            full_benefit = self.benefit()
+            if len(self._pairs) == 1:
+                self._penalty = full_benefit
+            else:
+                st = self._stats
+                n = st.n
+                sx = st.sum_x
+                sy = st.sum_y
+                sxx = st.sum_xx
+                sxy = st.sum_xy
+                syy = st.sum_yy
+                ox, oy = self._pairs[0]
+                # Reduced line c'' = c' minus its oldest pair, as raw sums.
+                if ox * ox > 0.5 * sxx or oy * oy > 0.5 * syy:
+                    # The oldest pair dominates a sum: subtracting would
+                    # cancel catastrophically.  Rare exact O(n) fallback.
+                    reduced = RegressionStats.from_pairs(
+                        islice(self._pairs, 1, None)
+                    )
+                    slope, intercept = fit_coefficients(
+                        reduced.n,
+                        reduced.sum_x,
+                        reduced.sum_y,
+                        reduced.sum_xx,
+                        reduced.sum_xy,
+                    )
+                else:
+                    slope, intercept = fit_coefficients(
+                        n - 1, sx - ox, sy - oy, sxx - ox * ox, sxy - ox * oy
+                    )
+                # The reduced model, evaluated over the *full* line c'.
+                reduced_sse = model_sse(n, sx, sy, sxx, sxy, syy, slope, intercept)
+                reduced_benefit = ((syy if syy > 0.0 else 0.0) - reduced_sse) / n
+                penalty = full_benefit - reduced_benefit
+                # Exact floating-point zeros are the common penalty tie
+                # (collinear lines: the reduced fit equals the full one
+                # bit-for-bit) and victim selection breaks those ties by
+                # neighbor id.  The closed form leaves ~1e-11·scale of
+                # noise around zero, which would order the tied lines
+                # arbitrarily — re-score batch-style when that close.
+                scale = syy / n
+                if penalty < _NEAR_TIE_RTOL * (scale if scale > 1.0 else 1.0):
+                    penalty = self._exact_penalty()
+                self._penalty = penalty
+        return self._penalty
+
+    def _exact_penalty(self) -> float:
+        """Batch re-computation of :meth:`eviction_penalty`, bit-for-bit.
+
+        Operation-for-operation the pre-incremental implementation:
+        fits from in-order sums, residuals summed term by term over the
+        full line, the same two-benefit subtraction.  O(line length);
+        reached only when the closed-form penalty is within
+        :data:`_NEAR_TIE_RTOL` of zero.
+        """
+        pairs = self._pairs
+        n = len(pairs)
+        sx = sy = sxx = sxy = 0.0
+        sx_r = sy_r = sxx_r = sxy_r = 0.0
+        first = True
+        for px, py in pairs:
+            sx += px
+            sy += py
+            sxx += px * px
+            sxy += px * py
+            if first:
+                first = False
+            else:
+                sx_r += px
+                sy_r += py
+                sxx_r += px * px
+                sxy_r += px * py
+        a_f, b_f = batch_fit_coefficients(n, sx, sy, sxx, sxy)
+        a_r, b_r = batch_fit_coefficients(n - 1, sx_r, sy_r, sxx_r, sxy_r)
+        base = 0.0
+        sse_f = 0.0
+        sse_r = 0.0
+        for px, py in pairs:
+            base += py * py
+            r = py - (a_f * px + b_f)
+            sse_f += r * r
+            r = py - (a_r * px + b_r)
+            sse_r += r * r
+        base /= n
+        return (base - sse_f / n) - (base - sse_r / n)
+
+    def resync_stats(self) -> None:
+        """Re-derive the running sums exactly from the stored pairs.
+
+        Normally triggered automatically every
+        :data:`STATS_SYNC_INTERVAL` evictions; exposed for tests and
+        long-lived diagnostics.
+        """
+        self._resync_stats()
+        self._invalidate()
+
+    def _resync_stats(self) -> None:
+        self._stats = RegressionStats.from_pairs(self._pairs)
+        self._evictions_since_sync = 0
+
+    def _invalidate(self) -> None:
+        self._model = None
+        self._model_ab = None
+        self._benefit = None
+        self._penalty = None
 
     def __repr__(self) -> str:
         return f"CacheLine(neighbor={self.neighbor_id}, pairs={len(self._pairs)})"

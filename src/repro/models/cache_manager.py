@@ -32,18 +32,38 @@ The decision procedure, in the paper's order:
 their gain would be ``x_j(t)²``, which can evict a good small-amplitude
 model; instead the victim is chosen round-robin among all lines.
 
-Eviction penalties are memoized per line and invalidated only when the
-line changes, keeping each observation linear in the affected line's
-length (the speed-up §4 describes).
+Every candidate is scored from the line's running sufficient statistics
+(:class:`~repro.models.regression.RegressionStats`): ``c_aug`` is the
+stats plus the new pair, the shifted line is ``c_aug`` minus the oldest
+pair, and each fit/sse is a closed form over six sums — the whole
+decision is O(1) with zero list copies.  Victim selection keeps a lazy
+min-heap of ``(penalty, neighbor_id)`` over memoized eviction
+penalties: mutated lines are marked dirty, re-scored in O(1) at the
+next decision, and stale heap entries are discarded on pop.  Ties break
+toward the smaller neighbor id, exactly as the old full scan did.
+
+The batch procedure hit *exact* floating-point ties (identical
+shift/augment residual sums, zero penalties on collinear lines) that
+its strict comparisons resolved deterministically; whenever the
+closed-form scores land within :data:`~repro.models.cache._NEAR_TIE_RTOL`
+of such a tie, the candidates are re-scored batch-style
+(:meth:`ModelAwareCache._exact_benefits`) so every decision — and hence
+every simulation trajectory — is bit-identical to the batch
+implementation's.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Optional
 
-from repro.models.cache import CacheLine
+from repro.models.cache import CacheLine, _NEAR_TIE_RTOL
 from repro.models.policy import Action, CachePolicy
-from repro.models.regression import fit_line, mean_sse_of_model, no_answer_sse
+from repro.models.regression import (
+    batch_fit_coefficients,
+    fit_coefficients,
+    model_sse,
+)
 
 __all__ = ["ModelAwareCache"]
 
@@ -53,17 +73,23 @@ class ModelAwareCache(CachePolicy):
 
     def __init__(self, cache_bytes: int) -> None:
         super().__init__(cache_bytes)
+        #: Memoized Penalty_Evict per line; absent while a line is dirty.
         self._penalties: dict[int, float] = {}
+        #: Lazy min-heap of (penalty, neighbor_id); entries whose penalty
+        #: no longer matches the memo are stale and dropped on pop.
+        self._victim_heap: list[tuple[float, int]] = []
+        #: Lines mutated since their penalty was last scored.
+        self._dirty: set[int] = set()
         self._rr_cursor = -1
 
     def observe(self, neighbor_id: int, own_value: float, neighbor_value: float) -> str:
         """Offer a fresh pair for ``neighbor_id``; returns the action taken."""
         new_pair = (float(own_value), float(neighbor_value))
 
-        if not self.is_full:
+        if self._total_pairs < self.capacity_pairs:
             line = self._line_or_new(neighbor_id)
-            line.append(*new_pair)
-            self._penalties.pop(neighbor_id, None)
+            self._append_pair(line, *new_pair)
+            self._mark_dirty(neighbor_id)
             self._check_capacity_invariant()
             return Action.APPEND
 
@@ -77,22 +103,71 @@ class ModelAwareCache(CachePolicy):
         self._check_capacity_invariant()
         return action
 
+    def forget(self, neighbor_id: int) -> None:
+        """Drop all history for ``neighbor_id`` (e.g. a departed node)."""
+        super().forget(neighbor_id)
+        self._penalties.pop(neighbor_id, None)
+        self._dirty.discard(neighbor_id)
+
     # -- the §4 decision procedure ------------------------------------------
 
     def _decide_full_cache(self, line: CacheLine, new_pair: tuple[float, float]) -> str:
         neighbor_id = line.neighbor_id
-        current_pairs = line.pairs
-        augmented = current_pairs + [new_pair]
-        shifted = current_pairs[1:] + [new_pair]
+        x, y = new_pair
+        st = line.stats
 
-        baseline = no_answer_sse(augmented)
-        model_current = line.model()
-        model_shift = fit_line(shifted)
-        model_augment = fit_line(augmented)
+        # c_aug = current stats + new pair; shifted = c_aug - oldest pair.
+        # Two O(1) stat deltas (on local floats) replace the old list
+        # copies and full refits.
+        n_aug = st.n + 1
+        sx_aug = st.sum_x + x
+        sy_aug = st.sum_y + y
+        sxx_aug = st.sum_xx + x * x
+        sxy_aug = st.sum_xy + x * y
+        syy_aug = st.sum_yy + y * y
 
-        benefit_current = baseline - mean_sse_of_model(augmented, model_current)
-        benefit_shift = baseline - mean_sse_of_model(augmented, model_shift)
-        benefit_augment = baseline - mean_sse_of_model(augmented, model_augment)
+        ox, oy = line.oldest
+        n_shift = st.n
+        sx_shift = sx_aug - ox
+        sy_shift = sy_aug - oy
+        sxx_shift = sxx_aug - ox * ox
+        sxy_shift = sxy_aug - ox * oy
+
+        baseline = (syy_aug if syy_aug > 0.0 else 0.0) / n_aug
+        a_cur, b_cur = line.model_coefficients()
+        a_shift, b_shift = fit_coefficients(
+            n_shift, sx_shift, sy_shift, sxx_shift, sxy_shift
+        )
+        a_aug, b_aug = fit_coefficients(n_aug, sx_aug, sy_aug, sxx_aug, sxy_aug)
+
+        benefit_current = baseline - (
+            model_sse(n_aug, sx_aug, sy_aug, sxx_aug, sxy_aug, syy_aug, a_cur, b_cur)
+            / n_aug
+        )
+        benefit_shift = baseline - (
+            model_sse(n_aug, sx_aug, sy_aug, sxx_aug, sxy_aug, syy_aug, a_shift, b_shift)
+            / n_aug
+        )
+        benefit_augment = baseline - (
+            model_sse(n_aug, sx_aug, sy_aug, sxx_aug, sxy_aug, syy_aug, a_aug, b_aug)
+            / n_aug
+        )
+
+        # Near-tie guard: if any two candidates are within the closed
+        # form's rounding noise, re-score them exactly so the strict
+        # comparisons below resolve the tie the same way batch did.
+        near = _NEAR_TIE_RTOL * (baseline if baseline > 1.0 else 1.0)
+        d_cs = benefit_current - benefit_shift
+        d_ca = benefit_current - benefit_augment
+        d_sa = benefit_shift - benefit_augment
+        if (
+            (-near < d_cs < near)
+            or (-near < d_ca < near)
+            or (-near < d_sa < near)
+        ):
+            benefit_current, benefit_shift, benefit_augment = self._exact_benefits(
+                line, x, y
+            )
 
         # Test 1: the existing model serves all known observations best.
         if benefit_current >= benefit_shift and benefit_current >= benefit_augment:
@@ -110,8 +185,8 @@ class ModelAwareCache(CachePolicy):
         victim = self._cheapest_victim(exclude=neighbor_id, below=gain_augment)
         if victim is not None:
             self._evict_from(victim)
-            line.append(*new_pair)
-            self._penalties.pop(neighbor_id, None)
+            self._append_pair(line, *new_pair)
+            self._mark_dirty(neighbor_id)
             return Action.AUGMENT
 
         # No affordable victim: time-shifting is still better than
@@ -121,38 +196,126 @@ class ModelAwareCache(CachePolicy):
             return Action.SHIFT
         return Action.REJECT
 
+    def _exact_benefits(
+        self, line: CacheLine, x: float, y: float
+    ) -> tuple[float, float, float]:
+        """Batch re-scoring of the three candidates, bit-for-bit.
+
+        Reproduces the pre-incremental implementation exactly — sums
+        accumulated in storage order, residuals summed term by term over
+        ``c_aug`` — so an exact floating-point tie lands on the same side
+        of the strict comparisons it always did.  O(line length); reached
+        only when the closed-form benefits are within :data:`_NEAR_TIE_RTOL`.
+        """
+        # Fits from single-pass sums (same accumulation order as batch).
+        sx = sy = sxx = sxy = 0.0
+        first = True
+        sx_sh = sy_sh = sxx_sh = sxy_sh = 0.0
+        n = 0
+        for px, py in line:
+            n += 1
+            sx += px
+            sy += py
+            sxx += px * px
+            sxy += px * py
+            if first:
+                first = False
+            else:
+                sx_sh += px
+                sy_sh += py
+                sxx_sh += px * px
+                sxy_sh += px * py
+        a_cur, b_cur = batch_fit_coefficients(n, sx, sy, sxx, sxy)
+        a_sh, b_sh = batch_fit_coefficients(n, sx_sh + x, sy_sh + y, sxx_sh + x * x, sxy_sh + x * y)
+        n_aug = n + 1
+        a_aug, b_aug = batch_fit_coefficients(n_aug, sx + x, sy + y, sxx + x * x, sxy + x * y)
+
+        # Residual sums over c_aug, term by term as sse_of_model does.
+        syy = 0.0
+        sse_cur = sse_sh = sse_aug = 0.0
+        for px, py in line:
+            syy += py * py
+            r = py - (a_cur * px + b_cur)
+            sse_cur += r * r
+            r = py - (a_sh * px + b_sh)
+            sse_sh += r * r
+            r = py - (a_aug * px + b_aug)
+            sse_aug += r * r
+        syy += y * y
+        r = y - (a_cur * x + b_cur)
+        sse_cur += r * r
+        r = y - (a_sh * x + b_sh)
+        sse_sh += r * r
+        r = y - (a_aug * x + b_aug)
+        sse_aug += r * r
+
+        baseline = syy / n_aug
+        return (
+            baseline - sse_cur / n_aug,
+            baseline - sse_sh / n_aug,
+            baseline - sse_aug / n_aug,
+        )
+
     def _apply_shift(self, line: CacheLine, new_pair: tuple[float, float]) -> None:
+        # Evict + append on the same line: the total pair count is
+        # unchanged, so the line is mutated directly.
         line.evict_oldest()
         line.append(*new_pair)
-        self._penalties.pop(line.neighbor_id, None)
+        self._mark_dirty(line.neighbor_id)
 
     # -- victim selection -----------------------------------------------------
 
-    def _eviction_penalty(self, neighbor_id: int) -> float:
-        """Memoized ``Penalty_Evict`` for ``neighbor_id``'s line."""
-        if neighbor_id not in self._penalties:
-            self._penalties[neighbor_id] = self._lines[neighbor_id].eviction_penalty()
-        return self._penalties[neighbor_id]
+    def _mark_dirty(self, neighbor_id: int) -> None:
+        """Invalidate the memoized penalty after a line mutation."""
+        self._penalties.pop(neighbor_id, None)
+        self._dirty.add(neighbor_id)
+
+    def _refresh_dirty(self) -> None:
+        """Re-score every dirty line (O(1) each) and push fresh heap entries."""
+        if self._dirty:
+            for neighbor_id in self._dirty:
+                line = self._lines.get(neighbor_id)
+                if line is None or len(line) == 0:
+                    continue
+                penalty = line.eviction_penalty()
+                self._penalties[neighbor_id] = penalty
+                heapq.heappush(self._victim_heap, (penalty, neighbor_id))
+            self._dirty.clear()
+        # Deep stale entries never reach the top on their own; rebuild the
+        # heap from the live memo once they dominate, keeping the heap
+        # O(#lines) and the amortized cost O(1) per mutation.
+        if len(self._victim_heap) > 16 + 4 * len(self._penalties):
+            self._victim_heap = [(p, k) for k, p in self._penalties.items()]
+            heapq.heapify(self._victim_heap)
 
     def _cheapest_victim(self, exclude: int, below: float) -> Optional[int]:
         """The line with the smallest penalty strictly under ``below``.
 
-        Ties break toward the smaller neighbor id for determinism.
+        Ties break toward the smaller neighbor id for determinism —
+        guaranteed by the ``(penalty, neighbor_id)`` heap order.
         """
-        best_id: Optional[int] = None
-        best_penalty = below
-        for k in sorted(self._lines):
-            if k == exclude or len(self._lines[k]) == 0:
+        self._refresh_dirty()
+        heap = self._victim_heap
+        excluded_entries: list[tuple[float, int]] = []
+        victim: Optional[int] = None
+        while heap:
+            penalty, neighbor_id = heap[0]
+            if self._penalties.get(neighbor_id) != penalty:
+                heapq.heappop(heap)  # stale: line mutated or forgotten
                 continue
-            penalty = self._eviction_penalty(k)
-            if penalty < best_penalty:
-                best_penalty = penalty
-                best_id = k
-        return best_id
+            if neighbor_id == exclude:
+                excluded_entries.append(heapq.heappop(heap))
+                continue
+            if penalty < below:
+                victim = neighbor_id
+            break
+        for entry in excluded_entries:
+            heapq.heappush(heap, entry)
+        return victim
 
     def _evict_from(self, neighbor_id: int) -> None:
         self._evict_oldest_of(neighbor_id)
-        self._penalties.pop(neighbor_id, None)
+        self._mark_dirty(neighbor_id)
 
     # -- newcomer handling ------------------------------------------------------
 
@@ -172,8 +335,8 @@ class ModelAwareCache(CachePolicy):
             return Action.REJECT
         self._evict_from(victim)
         line = self._line_or_new(neighbor_id)
-        line.append(*new_pair)
-        self._penalties.pop(neighbor_id, None)
+        self._append_pair(line, *new_pair)
+        self._mark_dirty(neighbor_id)
         return Action.NEWCOMER
 
     def _next_round_robin_victim(self, exclude: int) -> Optional[int]:

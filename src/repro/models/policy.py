@@ -51,13 +51,20 @@ class CachePolicy(abc.ABC):
         self.cache_bytes = int(cache_bytes)
         self.capacity_pairs = pairs_for_budget(self.cache_bytes)
         self._lines: dict[int, CacheLine] = {}
+        self._total_pairs = 0
 
     # -- shared read side ----------------------------------------------------
 
     @property
     def total_pairs(self) -> int:
-        """Pairs currently stored across all lines."""
-        return sum(len(line) for line in self._lines.values())
+        """Pairs currently stored across all lines (O(1) running count).
+
+        Maintained by the shared mutation helpers (``_append_pair``,
+        ``_evict_oldest_of``, ``forget``); subclasses must mutate lines
+        through them so ``is_full`` stays a constant-time check on the
+        observe hot path.
+        """
+        return self._total_pairs
 
     @property
     def is_full(self) -> bool:
@@ -88,7 +95,9 @@ class CachePolicy(abc.ABC):
 
     def forget(self, neighbor_id: int) -> None:
         """Drop all history for ``neighbor_id`` (e.g. a departed node)."""
-        self._lines.pop(neighbor_id, None)
+        line = self._lines.pop(neighbor_id, None)
+        if line is not None:
+            self._total_pairs -= len(line)
 
     # -- write side ------------------------------------------------------------
 
@@ -105,10 +114,16 @@ class CachePolicy(abc.ABC):
             self._lines[neighbor_id] = line
         return line
 
+    def _append_pair(self, line: CacheLine, own_value: float, neighbor_value: float) -> None:
+        """Append to ``line`` while keeping the running pair count exact."""
+        line.append(own_value, neighbor_value)
+        self._total_pairs += 1
+
     def _evict_oldest_of(self, neighbor_id: int) -> None:
         """Evict the oldest pair of ``neighbor_id``'s line, dropping it if emptied."""
         line = self._lines[neighbor_id]
         line.evict_oldest()
+        self._total_pairs -= 1
         if len(line) == 0:
             del self._lines[neighbor_id]
 

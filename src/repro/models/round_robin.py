@@ -35,7 +35,7 @@ class RoundRobinCache(CachePolicy):
             self._evict_oldest_of(victim)
             evicted = True
         line = self._line_or_new(neighbor_id)
-        line.append(float(own_value), float(neighbor_value))
+        self._append_pair(line, float(own_value), float(neighbor_value))
         self._insertion_order.append(neighbor_id)
         self._check_capacity_invariant()
         return Action.SHIFT if evicted else Action.APPEND

@@ -54,7 +54,23 @@ class PeriodicTask:
         return self._stopped
 
     def start(self, first_delay: Optional[float] = None) -> "PeriodicTask":
-        """Arm the task; first firing after ``first_delay`` (default: one period)."""
+        """Arm the task; first firing after ``first_delay`` (default: one period).
+
+        A stopped task may be re-armed: ``start`` clears the stopped
+        flag and schedules afresh.
+
+        Raises
+        ------
+        RuntimeError
+            If the task is already armed — re-arming would leak the
+            first pending event, double-firing the callback.
+        """
+        if self._pending is not None:
+            raise RuntimeError(
+                f"periodic task {self._label!r} is already armed; "
+                "stop() it before starting again"
+            )
+        self._stopped = False
         delay = self._period if first_delay is None else first_delay
         self._pending = self._simulator.schedule(
             delay, self._tick, label=self._label, priority=self._priority

@@ -138,7 +138,14 @@ class EventQueue:
         return event
 
     def clear(self) -> None:
-        """Drop every queued event."""
+        """Drop every queued event.
+
+        Dropped events are marked dequeued so a later :meth:`cancel` on
+        one is a no-op for the live counter instead of driving it
+        negative (which would corrupt ``__len__``/``__bool__``).
+        """
+        for __, __, __, event in self._heap:
+            event._queued = False
         self._heap.clear()
         self._live = 0
 

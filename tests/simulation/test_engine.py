@@ -131,6 +131,25 @@ class TestPeriodicTask:
         with pytest.raises(ValueError):
             simulator.every(0.0, lambda: None)
 
+    def test_double_start_rejected(self, simulator):
+        """Regression: re-arming an armed task leaked the first pending
+        event, double-firing the callback every period."""
+        times = []
+        task = simulator.every(1.0, lambda: times.append(simulator.now))
+        with pytest.raises(RuntimeError):
+            task.start()
+        simulator.run_until(3.0)
+        assert times == [1.0, 2.0, 3.0]  # single cadence, no duplicates
+
+    def test_restart_after_stop_allowed(self, simulator):
+        times = []
+        task = simulator.every(1.0, lambda: times.append(simulator.now))
+        simulator.run_until(2.0)
+        task.stop()
+        task.start()  # the handle is reusable once disarmed
+        simulator.run_until(4.0)
+        assert times == [1.0, 2.0, 3.0, 4.0]
+
     def test_stop_from_callback_leaves_other_events_runnable(self, simulator):
         """Regression: a task stopping itself mid-callback must not
         desynchronize the queue — later events still fire and

@@ -113,3 +113,18 @@ class TestEventQueue:
         queue.clear()
         assert len(queue) == 0
         assert queue.peek_time() is None
+
+    def test_cancel_after_clear_keeps_counter_consistent(self):
+        """Regression: clear() left dropped events flagged as queued, so
+        a later cancel() on one drove the live counter negative and
+        corrupted __len__/__bool__."""
+        queue = EventQueue()
+        dropped = queue.push(Event(time=1.0, callback=_noop))
+        queue.clear()
+        queue.cancel(dropped)  # late cancel of a cleared event
+        assert len(queue) == 0
+        assert not queue
+        survivor = queue.push(Event(time=2.0, callback=_noop))
+        assert len(queue) == 1
+        assert bool(queue)
+        assert queue.pop() is survivor
