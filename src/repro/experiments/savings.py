@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Optional, Sequence
 
 import numpy as np
@@ -26,6 +27,7 @@ import numpy as np
 from repro.experiments.harness import (
     NetworkSetup,
     build_runtime,
+    parallel_map,
     random_walk_dataset,
     run_discovery,
 )
@@ -78,6 +80,66 @@ class Table3Result:
         return self.cells[(query_area, transmission_range, n_classes)]
 
 
+def _table3_config_cells(
+    areas: Sequence[float],
+    n_queries: int,
+    setup: NetworkSetup,
+    base_seed: int,
+    prefer_representative_routing: bool,
+    config: tuple[float, int],
+) -> list[Table3Cell]:
+    """All area cells of one (range, K) configuration.
+
+    Module-level and returning plain dataclasses so ``REPRO_JOBS > 1``
+    can run each configuration in its own worker process — the network
+    build, training and election dominate the cost and are independent
+    across configurations.
+    """
+    transmission_range, n_classes = config
+    seed = base_seed * 10_000 + int(transmission_range * 100) * 100 + n_classes
+    configured = setup.with_(transmission_range=transmission_range)
+    dataset = random_walk_dataset(
+        configured, n_classes, seed, length=int(configured.election_time) + 10
+    )
+    runtime, view = run_discovery(configured, dataset, seed)
+    executor = QueryExecutor(
+        runtime,
+        prefer_representative_routing=prefer_representative_routing,
+    )
+    query_rng = np.random.default_rng(seed ^ 0xC0FFEE)
+    cells: list[Table3Cell] = []
+    for query_area in areas:
+        savings: list[float] = []
+        for _ in range(n_queries):
+            region = random_square(query_area, query_rng)
+            regular = executor.execute(
+                Query(aggregate=Aggregate.SUM, region=region),
+                charge_energy=False,
+            )
+            snapshot = executor.execute(
+                Query(aggregate=Aggregate.SUM, region=region, use_snapshot=True),
+                sink=regular.sink,
+                charge_energy=False,
+            )
+            if regular.n_participants == 0:
+                continue
+            savings.append(
+                (regular.n_participants - snapshot.n_participants)
+                / regular.n_participants
+            )
+        cells.append(
+            Table3Cell(
+                query_area=query_area,
+                transmission_range=transmission_range,
+                n_classes=n_classes,
+                savings=statistics.fmean(savings) if savings else 0.0,
+                n_queries=len(savings),
+                snapshot_size=view.size,
+            )
+        )
+    return cells
+
+
 def table3_savings(
     areas: Sequence[float] = (0.01, 0.1, 0.5),
     ranges: Sequence[float] = (0.2, 0.7),
@@ -94,52 +156,31 @@ def table3_savings(
     area are executed once regularly and once as snapshot queries, and
     the per-query participant reduction is averaged.  Queries that no
     node matches or reaches are skipped, as they have no participants
-    to save.
+    to save.  Each (range, K) configuration is seeded independently of
+    scheduling, so the table is identical under any ``REPRO_JOBS``.
     """
+    configs = [
+        (transmission_range, n_classes)
+        for transmission_range in ranges
+        for n_classes in classes
+    ]
+    per_config = parallel_map(
+        partial(
+            _table3_config_cells,
+            tuple(areas),
+            n_queries,
+            setup,
+            base_seed,
+            prefer_representative_routing,
+        ),
+        configs,
+    )
     result = Table3Result()
-    for transmission_range in ranges:
-        for n_classes in classes:
-            seed = base_seed * 10_000 + int(transmission_range * 100) * 100 + n_classes
-            configured = setup.with_(transmission_range=transmission_range)
-            dataset = random_walk_dataset(
-                configured, n_classes, seed, length=int(configured.election_time) + 10
-            )
-            runtime, view = run_discovery(configured, dataset, seed)
-            executor = QueryExecutor(
-                runtime,
-                prefer_representative_routing=prefer_representative_routing,
-            )
-            query_rng = np.random.default_rng(seed ^ 0xC0FFEE)
-            for query_area in areas:
-                savings: list[float] = []
-                for _ in range(n_queries):
-                    region = random_square(query_area, query_rng)
-                    regular = executor.execute(
-                        Query(aggregate=Aggregate.SUM, region=region),
-                        charge_energy=False,
-                    )
-                    snapshot = executor.execute(
-                        Query(
-                            aggregate=Aggregate.SUM, region=region, use_snapshot=True
-                        ),
-                        sink=regular.sink,
-                        charge_energy=False,
-                    )
-                    if regular.n_participants == 0:
-                        continue
-                    savings.append(
-                        (regular.n_participants - snapshot.n_participants)
-                        / regular.n_participants
-                    )
-                cell = Table3Cell(
-                    query_area=query_area,
-                    transmission_range=transmission_range,
-                    n_classes=n_classes,
-                    savings=statistics.fmean(savings) if savings else 0.0,
-                    n_queries=len(savings),
-                    snapshot_size=view.size,
-                )
-                result.cells[(query_area, transmission_range, n_classes)] = cell
+    for cells in per_config:
+        for cell in cells:
+            result.cells[
+                (cell.query_area, cell.transmission_range, cell.n_classes)
+            ] = cell
     return result
 
 

@@ -15,6 +15,7 @@ repetitions:
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Sequence
 
 from repro.experiments.harness import (
@@ -43,6 +44,7 @@ DEFAULT_RANGE_SWEEP = (0.2, 0.3, 0.5, 0.7, 0.9, 1.1, 1.4)
 
 
 def _snapshot_size(setup: NetworkSetup, n_classes: int, seed: int) -> float:
+    """One repetition's snapshot size (module-level: picklable for REPRO_JOBS)."""
     dataset = random_walk_dataset(setup, n_classes, seed)
     __, view = run_discovery(setup, dataset, seed)
     return float(view.size)
@@ -63,7 +65,7 @@ def figure6_vary_classes(
     series = Series("snapshot size", "K (classes)", "n1 (representatives)")
     for n_classes in classes:
         samples = repeat(
-            lambda seed, k=n_classes: _snapshot_size(setup, k, seed),
+            partial(_snapshot_size, setup, n_classes),
             repetitions,
             base_seed * 1_000 + n_classes,
         )
@@ -86,7 +88,7 @@ def figure7_vary_message_loss(
     for loss in losses:
         lossy = setup.with_(loss_probability=loss)
         samples = repeat(
-            lambda seed, s=lossy: _snapshot_size(s, 1, seed),
+            partial(_snapshot_size, lossy, 1),
             repetitions,
             base_seed * 1_000 + int(loss * 100),
         )
@@ -114,7 +116,7 @@ def figure8_vary_cache_size(
         for cache_bytes in cache_sizes:
             configured = setup.with_(cache_policy=policy, cache_bytes=cache_bytes)
             samples = repeat(
-                lambda seed, s=configured: _snapshot_size(s, n_classes, seed),
+                partial(_snapshot_size, configured, n_classes),
                 repetitions,
                 base_seed * 100_000 + cache_bytes,
             )
@@ -143,7 +145,7 @@ def figure9_vary_transmission_range(
         for transmission_range in ranges:
             configured = setup.with_(transmission_range=transmission_range)
             samples = repeat(
-                lambda seed, s=configured, k=n_classes: _snapshot_size(s, k, seed),
+                partial(_snapshot_size, configured, n_classes),
                 repetitions,
                 base_seed * 1_000_000 + n_classes * 1_000 + int(transmission_range * 100),
             )

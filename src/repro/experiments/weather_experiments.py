@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass
+from functools import partial
 from typing import Sequence
 
 import numpy as np
@@ -69,6 +70,30 @@ def _discover_on_weather(
     return runtime, float(view.size)
 
 
+# The per-repetition workers are module-level functions (bound with
+# ``functools.partial`` at call sites) so ``REPRO_JOBS > 1`` can ship
+# them to worker processes; they return plain floats/tuples because the
+# runtime itself is not picklable.
+
+
+def _threshold_size(setup: NetworkSetup, threshold: float, seed: int) -> float:
+    return _discover_on_weather(setup, threshold, seed)[1]
+
+
+def _threshold_error(setup: NetworkSetup, threshold: float, seed: int) -> float:
+    runtime, __ = _discover_on_weather(setup, threshold, seed)
+    return _average_estimate_sse(runtime)
+
+
+def _spurious_run(
+    setup: NetworkSetup, loss: float, seed: int
+) -> tuple[float, float]:
+    configured = setup.with_(loss_probability=loss)
+    dataset = weather_dataset(configured, seed)
+    __, view = run_discovery(configured, dataset, seed)
+    return float(view.audit().n_spurious), float(view.size)
+
+
 def figure11_vary_threshold(
     thresholds: Sequence[float] = DEFAULT_THRESHOLD_SWEEP,
     repetitions: int = 10,
@@ -79,7 +104,7 @@ def figure11_vary_threshold(
     series = Series("snapshot size", "T (error threshold)", "n1 (representatives)")
     for threshold in thresholds:
         samples = repeat(
-            lambda seed, t=threshold: _discover_on_weather(setup, t, seed)[1],
+            partial(_threshold_size, setup, threshold),
             repetitions,
             base_seed * 1_000 + int(threshold * 100),
         )
@@ -114,14 +139,9 @@ def figure12_estimation_error(
     threshold used for the election.
     """
     series = Series("estimate sse", "T (error threshold)", "average sse")
-
-    def one_run(seed: int, threshold: float) -> float:
-        runtime, __ = _discover_on_weather(setup, threshold, seed)
-        return _average_estimate_sse(runtime)
-
     for threshold in thresholds:
         samples = repeat(
-            lambda seed, t=threshold: one_run(seed, t),
+            partial(_threshold_error, setup, threshold),
             repetitions,
             base_seed * 1_000 + int(threshold * 100),
         )
@@ -143,16 +163,9 @@ def figure13_spurious_representatives(
     """
     spurious = Series("spurious", "P_loss", "representatives")
     total = Series("total", "P_loss", "representatives")
-
-    def one_run(seed: int, loss: float) -> tuple[float, float]:
-        configured = setup.with_(loss_probability=loss)
-        dataset = weather_dataset(configured, seed)
-        __, view = run_discovery(configured, dataset, seed)
-        return float(view.audit().n_spurious), float(view.size)
-
     for loss in losses:
         pairs = repeat(
-            lambda seed, p=loss: one_run(seed, p),
+            partial(_spurious_run, setup, loss),
             repetitions,
             base_seed * 1_000 + int(loss * 100),
         )

@@ -119,18 +119,30 @@ def model_sse(
 ) -> float:
     """Total squared error of ``(slope, intercept)`` from raw sums.
 
-        Σ (y - a x - b)² = Σy² - 2aΣxy - 2bΣy + a²Σx² + 2abΣx + nb²
+        Σ (y - a x - b)² = C_yy - 2a·C_xy + a²·C_xx + n·r̄²
 
-    Clamped at zero: the expansion cancels catastrophically for
-    near-exact fits and can otherwise dip a few ulps negative.
+    where ``C_**`` are the *centered* second moments and
+    ``r̄ = ȳ - a·x̄ - b`` is the mean residual.  Mathematically this
+    equals the raw-sum expansion ``Σy² - 2aΣxy - ... + nb²``, but the
+    centered form cancels at the scale of the residuals instead of the
+    scale of ``a²Σx²`` — for a near-exact fit the raw expansion's error
+    is ~eps·a²Σx², which is what used to leak out as a spuriously
+    positive sse on two-point lines.  Clamped at zero: even the
+    centered form can dip a few ulps negative.
     """
+    if n <= 0:
+        return 0.0
+    mean_x = sum_x / n
+    mean_y = sum_y / n
+    c_xx = sum_xx - sum_x * mean_x
+    c_xy = sum_xy - sum_x * mean_y
+    c_yy = sum_yy - sum_y * mean_y
+    mean_residual = mean_y - slope * mean_x - intercept
     total = (
-        sum_yy
-        - 2.0 * slope * sum_xy
-        - 2.0 * intercept * sum_y
-        + slope * slope * sum_xx
-        + 2.0 * slope * intercept * sum_x
-        + n * intercept * intercept
+        c_yy
+        - 2.0 * slope * c_xy
+        + slope * slope * c_xx
+        + n * mean_residual * mean_residual
     )
     return total if total > 0.0 else 0.0
 

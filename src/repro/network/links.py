@@ -11,18 +11,47 @@ Besides the global Bernoulli model the paper uses, we provide per-link
 overrides (for modelling obstacles — the paper's §3 example of a node
 never hearing another due to "an obstacle in their direct path") and a
 distance-proportional model for softer degradation studies.
+
+Loss models expose two equivalent sampling APIs: the scalar
+``delivered(sender, receiver, rng)`` and the vectorized
+``loss_vector(sender, receivers, rng)`` the radio's batched fan-out
+uses — one blocked ``rng.random(k)`` draw per transmission instead of
+``k`` scalar calls, consuming the stream draw-for-draw identically.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.network.topology import Topology
 
 __all__ = ["LossModel", "GlobalLoss", "PerLinkLoss", "DistanceLoss", "PERFECT_LINKS"]
+
+
+def _sample_deliveries(
+    probabilities: Sequence[float], rng: np.random.Generator
+) -> np.ndarray:
+    """Vectorized Bernoulli delivery outcomes, draw-for-draw scalar-equivalent.
+
+    The scalar path (:meth:`LossModel.delivered`) consumes one uniform
+    draw per link whose loss probability is strictly inside ``(0, 1)``
+    and none for the degenerate ones, so this kernel draws a single
+    ``rng.random(k)`` block over exactly those links, in receiver
+    order.  ``numpy``'s ``Generator.random`` produces the identical
+    double sequence whether called ``k`` times with size ``None`` or
+    once with size ``k``, which makes the two paths reproduce the same
+    outcomes from the same stream state (pinned by a property test).
+    """
+    ps = np.asarray(probabilities, dtype=np.float64)
+    delivered = ps <= 0.0
+    uncertain = ~delivered & (ps < 1.0)
+    k = int(uncertain.sum())
+    if k:
+        delivered[uncertain] = rng.random(k) >= ps[uncertain]
+    return delivered
 
 
 class LossModel(abc.ABC):
@@ -41,6 +70,28 @@ class LossModel(abc.ABC):
             return False
         return rng.random() >= p
 
+    def loss_vector(
+        self,
+        sender: int,
+        receivers: Sequence[int],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Delivery outcomes for all ``receivers`` of one transmission.
+
+        Returns a boolean array aligned with ``receivers``.  The base
+        implementation is the scalar fallback — it literally calls
+        :meth:`delivered` per receiver, so third-party models that
+        override ``delivered`` (custom RNG usage included) stay
+        correct without knowing about vectorization.  The bundled
+        models override this with a single blocked draw that consumes
+        the stream identically.
+        """
+        return np.fromiter(
+            (self.delivered(sender, receiver, rng) for receiver in receivers),
+            dtype=bool,
+            count=len(receivers),
+        )
+
 
 class GlobalLoss(LossModel):
     """Uniform loss probability ``P_loss`` on every link (paper's model)."""
@@ -52,6 +103,20 @@ class GlobalLoss(LossModel):
 
     def loss_probability(self, sender: int, receiver: int) -> float:
         return self.probability
+
+    def loss_vector(
+        self,
+        sender: int,
+        receivers: Sequence[int],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        k = len(receivers)
+        p = self.probability
+        if p <= 0.0:
+            return np.ones(k, dtype=bool)
+        if p >= 1.0:
+            return np.zeros(k, dtype=bool)
+        return rng.random(k) >= p
 
     def __repr__(self) -> str:
         return f"GlobalLoss({self.probability})"
@@ -89,6 +154,17 @@ class PerLinkLoss(LossModel):
     def loss_probability(self, sender: int, receiver: int) -> float:
         return self.overrides.get((sender, receiver), self.base)
 
+    def loss_vector(
+        self,
+        sender: int,
+        receivers: Sequence[int],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        get, base = self.overrides.get, self.base
+        return _sample_deliveries(
+            [get((sender, receiver), base) for receiver in receivers], rng
+        )
+
 
 class DistanceLoss(LossModel):
     """Loss grows linearly with distance up to the sender's range.
@@ -114,6 +190,19 @@ class DistanceLoss(LossModel):
             return 1.0
         fraction = distance / reach if reach > 0 else 1.0
         return self.floor + (self.ceiling - self.floor) * fraction
+
+    def loss_vector(
+        self,
+        sender: int,
+        receivers: Sequence[int],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        # Probabilities come from the scalar formula on purpose: reusing
+        # ``loss_probability`` keeps boundary links (distance == reach)
+        # bit-identical to the scalar path; only the draws are blocked.
+        return _sample_deliveries(
+            [self.loss_probability(sender, receiver) for receiver in receivers], rng
+        )
 
 
 #: Shared lossless model for the paper's ``P_loss = 0`` configurations.

@@ -38,7 +38,7 @@ class NetworkNode:
     def __init__(self, node_id: int, battery: Optional[Battery] = None) -> None:
         self.node_id = node_id
         self.battery = battery if battery is not None else Battery(None)
-        self._handlers: list[MessageHandler] = []
+        self._handlers: tuple[MessageHandler, ...] = ()
 
     @property
     def alive(self) -> bool:
@@ -47,21 +47,27 @@ class NetworkNode:
 
     def attach(self, handler: MessageHandler) -> None:
         """Register a handler for every future delivery to this node."""
-        self._handlers.append(handler)
+        self._handlers = self._handlers + (handler,)
 
     def detach(self, handler: MessageHandler) -> None:
         """Remove a previously attached handler."""
-        self._handlers.remove(handler)
+        handlers = list(self._handlers)
+        handlers.remove(handler)
+        self._handlers = tuple(handlers)
 
     def deliver(self, message: Message, overheard: bool = False) -> None:
         """Dispatch a delivered message to all attached handlers.
 
         Dead nodes receive nothing; the radio also filters, but the
-        guard here keeps the invariant local.
+        guard here keeps the invariant local.  Handlers are stored as
+        an immutable tuple so dispatch iterates a stable snapshot
+        without the per-delivery defensive copy the hot path used to
+        pay; attach/detach during dispatch affect only later
+        deliveries, exactly as before.
         """
         if not self.alive:
             return
-        for handler in list(self._handlers):
+        for handler in self._handlers:
             handler(message, overheard)
 
     def __repr__(self) -> str:

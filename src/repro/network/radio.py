@@ -57,6 +57,17 @@ class Radio:
     latency:
         Propagation delay between send and delivery, in time units.
         Must be small relative to protocol phase spacing.
+    batch_fanout:
+        When true (the default), one transmission schedules a *single*
+        delivery event carrying the precomputed receiver list instead of
+        one event per receiver.  Loss outcomes are sampled at send time
+        with :meth:`LossModel.loss_vector` in ``out_neighbors`` order,
+        consuming the radio RNG stream draw-for-draw identically to the
+        scalar path, and the per-receiver delivery events of one
+        transmission are contiguous in the event queue — so collapsing
+        them into one batch preserves the global firing order and the
+        simulation trajectory bit-for-bit (pinned by a golden-trace
+        test).  ``False`` keeps the legacy per-receiver event path.
     """
 
     def __init__(
@@ -68,6 +79,7 @@ class Radio:
         stats: Optional[MessageStats] = None,
         ledger: Optional[EnergyLedger] = None,
         latency: float = 0.001,
+        batch_fanout: bool = True,
     ) -> None:
         if latency < 0:
             raise ValueError(f"latency must be non-negative, got {latency}")
@@ -78,6 +90,7 @@ class Radio:
         self.stats = stats if stats is not None else MessageStats()
         self.ledger = ledger if ledger is not None else EnergyLedger()
         self.latency = latency
+        self.batch_fanout = batch_fanout
         self._nodes: dict[int, NetworkNode] = {}
         self._rng = simulator.random.stream("radio")
 
@@ -156,16 +169,88 @@ class Radio:
             self.simulator.now, "message.sent",
             sender=message.sender, message_kind=message.kind, target=target,
         )
+        if self.batch_fanout:
+            self._transmit_batched(message, target)
+        else:
+            self._transmit_scalar(message, target)
+        return True
+
+    def _transmit_scalar(self, message: Message, target: Optional[int]) -> None:
+        """Legacy fan-out: one RNG draw and one delivery event per receiver."""
+        dead = 0
         for receiver_id in self.topology.out_neighbors(message.sender):
             receiver = self._nodes.get(receiver_id)
             if receiver is None or not receiver.alive:
+                dead += 1
                 continue
             if not self.loss_model.delivered(message.sender, receiver_id, self._rng):
                 self.stats.record_dropped(message)
                 continue
             overheard = target is not None and receiver_id != target
             self._schedule_delivery(receiver, message, overheard)
-        return True
+        if dead:
+            self.stats.record_dropped_dead(message, dead)
+
+    def _transmit_batched(self, message: Message, target: Optional[int]) -> None:
+        """Batched fan-out: one blocked loss draw and one delivery event.
+
+        Dead or unregistered receivers are filtered *before* sampling —
+        exactly where the scalar path skips them — so they consume no
+        RNG draws and the two paths stay draw-for-draw identical.
+        """
+        nodes_get = self._nodes.get
+        alive_ids: list[int] = []
+        alive_nodes: list[NetworkNode] = []
+        dead = 0
+        for receiver_id in self.topology.out_neighbors(message.sender):
+            receiver = nodes_get(receiver_id)
+            if receiver is None or not receiver.alive:
+                dead += 1
+                continue
+            alive_ids.append(receiver_id)
+            alive_nodes.append(receiver)
+        if dead:
+            self.stats.record_dropped_dead(message, dead)
+        if not alive_ids:
+            return
+        outcomes = self.loss_model.loss_vector(message.sender, alive_ids, self._rng)
+        if outcomes.all():
+            pending = [
+                (node, target is not None and receiver_id != target)
+                for receiver_id, node in zip(alive_ids, alive_nodes)
+            ]
+        else:
+            dropped = len(alive_ids) - int(outcomes.sum())
+            self.stats.record_dropped(message, dropped)
+            pending = [
+                (node, target is not None and receiver_id != target)
+                for receiver_id, node, ok in zip(alive_ids, alive_nodes, outcomes)
+                if ok
+            ]
+        if not pending:
+            return
+        self._schedule_batch(message, pending)
+
+    def _schedule_batch(
+        self, message: Message, pending: list[tuple[NetworkNode, bool]]
+    ) -> None:
+        cost_receive = self.cost_model.receive
+        record_delivered = self.stats.record_delivered
+
+        def deliver_batch() -> None:
+            for receiver, overheard in pending:
+                if not receiver.alive:
+                    continue
+                receiver.battery.draw(cost_receive)
+                if cost_receive > 0:
+                    self.ledger.record(receiver.node_id, "receive", cost_receive)
+                record_delivered(receiver.node_id, message)
+                receiver.deliver(message, overheard)
+
+        self.simulator.schedule(
+            self.latency, deliver_batch, label=f"deliver:{message.kind}",
+            priority=DELIVERY_PRIORITY,
+        )
 
     def _schedule_delivery(
         self, receiver: NetworkNode, message: Message, overheard: bool

@@ -30,6 +30,7 @@ class MessageStats:
         self.sent: Counter[tuple[int, str]] = Counter()
         self.delivered: Counter[tuple[int, str]] = Counter()
         self.dropped: Counter[str] = Counter()
+        self.dropped_dead: Counter[str] = Counter()
         self._sent_checkpoint: Counter[tuple[int, str]] = Counter()
 
     def record_sent(self, message: Message) -> None:
@@ -40,9 +41,18 @@ class MessageStats:
         """Count one successful delivery of ``message`` to ``receiver``."""
         self.delivered[(receiver, message.kind)] += 1
 
-    def record_dropped(self, message: Message) -> None:
-        """Count one loss of ``message`` on some link."""
-        self.dropped[message.kind] += 1
+    def record_dropped(self, message: Message, count: int = 1) -> None:
+        """Count ``count`` Bernoulli losses of ``message`` on some links."""
+        self.dropped[message.kind] += count
+
+    def record_dropped_dead(self, message: Message, count: int = 1) -> None:
+        """Count ``count`` copies of ``message`` lost to dead receivers.
+
+        Kept separate from :attr:`dropped` — which records only
+        Bernoulli link loss — so loss-sweep accounting under node death
+        does not conflate radio quality with population decline.
+        """
+        self.dropped_dead[message.kind] += count
 
     # -- read-side helpers -------------------------------------------------
 
@@ -113,4 +123,5 @@ class MessageStats:
         self.sent.clear()
         self.delivered.clear()
         self.dropped.clear()
+        self.dropped_dead.clear()
         self._sent_checkpoint.clear()

@@ -25,7 +25,7 @@ class EventCancelled(Exception):
     """Raised when interacting with an event that has been cancelled."""
 
 
-@dataclass(order=False)
+@dataclass(order=False, slots=True)
 class Event:
     """A scheduled occurrence in simulated time.
 

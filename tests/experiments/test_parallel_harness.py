@@ -1,0 +1,103 @@
+"""Seed derivation and process-parallel execution of the harness.
+
+The acceptance bar for ``REPRO_JOBS`` is *sample-for-sample* equality:
+a sweep run on four worker processes must return exactly the numbers
+the serial run returns, because the per-repetition seed list depends
+only on ``(base_seed, repetitions)`` and never on scheduling.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.harness import (
+    NetworkSetup,
+    derive_seeds,
+    parallel_map,
+    repeat,
+)
+from repro.experiments import sensitivity
+
+
+class TestDeriveSeeds:
+    def test_deterministic(self):
+        assert derive_seeds(6, 10) == derive_seeds(6, 10)
+
+    def test_distinct_within_base(self):
+        seeds = derive_seeds(6, 1000)
+        assert len(set(seeds)) == 1000
+
+    def test_no_collision_across_adjacent_bases(self):
+        """The old ``base*1000 + i`` scheme collided here; this must not.
+
+        Figure 6's K=1 and K=2 points use bases 6001 and 6002 — with
+        the multiplicative scheme any repetition count above 1000 made
+        point 1's later seeds overlap point 2's early ones.
+        """
+        a = set(derive_seeds(6001, 2000))
+        b = set(derive_seeds(6002, 2000))
+        assert not a & b
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            derive_seeds(1, 0)
+
+
+class TestParallelMap:
+    def test_serial_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        # lambdas are fine serially — nothing is pickled
+        assert parallel_map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+
+    def test_parallel_matches_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        serial = parallel_map(math.sqrt, list(range(20)))
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        parallel = parallel_map(math.sqrt, list(range(20)))
+        assert parallel == serial
+
+    def test_invalid_jobs_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError):
+            parallel_map(abs, [1])
+
+    def test_empty_items(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert parallel_map(abs, []) == []
+
+
+#: A small-but-real discovery configuration; big enough that an election
+#: actually happens, small enough to run 8 times in a test.
+_SMALL = NetworkSetup(
+    n_nodes=12,
+    transmission_range=math.sqrt(2.0),
+    train_duration=5.0,
+    election_time=20.0,
+)
+
+
+class TestRepeatParallelEquivalence:
+    def test_repeat_sample_for_sample(self, monkeypatch):
+        from functools import partial
+
+        fn = partial(sensitivity._snapshot_size, _SMALL, 2)
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        serial = repeat(fn, repetitions=4, base_seed=6002)
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        parallel = repeat(fn, repetitions=4, base_seed=6002)
+        assert parallel == serial
+
+    def test_figure_sweep_sample_for_sample(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        serial = sensitivity.figure6_vary_classes(
+            classes=(1, 3), repetitions=2, setup=_SMALL
+        )
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        parallel = sensitivity.figure6_vary_classes(
+            classes=(1, 3), repetitions=2, setup=_SMALL
+        )
+        assert parallel.xs == serial.xs
+        for serial_point, parallel_point in zip(serial.points, parallel.points):
+            assert parallel_point.samples == serial_point.samples

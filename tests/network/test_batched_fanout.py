@@ -1,0 +1,213 @@
+"""Equivalence of the batched broadcast fan-out with the legacy path.
+
+The radio's batched fan-out samples all of a transmission's loss
+outcomes with one blocked RNG draw and schedules one delivery event for
+the whole receiver list.  These tests pin the two invariants that make
+it safe to ship as the default:
+
+* ``LossModel.loss_vector`` consumes the radio RNG stream draw-for-draw
+  identically to per-receiver ``delivered`` calls, for every bundled
+  model and the scalar fallback;
+* a full §6.1 discovery run (train, idle, elect) produces bit-identical
+  traces, message statistics, election outcomes and final RNG state
+  whether the radio batches or not — for both cache policies, with and
+  without message loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import (
+    NetworkSetup,
+    make_cache_factory,
+    random_walk_dataset,
+)
+from repro.core.runtime import SnapshotRuntime
+from repro.network.links import (
+    DistanceLoss,
+    GlobalLoss,
+    LossModel,
+    PerLinkLoss,
+)
+from repro.network.messages import Invitation
+from repro.network.node import NetworkNode
+from repro.network.radio import Radio
+from repro.network.topology import grid_topology, uniform_random_topology
+from repro.simulation.engine import Simulator
+
+
+class _ScalarOnlyLoss(LossModel):
+    """A third-party model that only implements the scalar API."""
+
+    def __init__(self, probability: float) -> None:
+        self.probability = probability
+
+    def loss_probability(self, sender: int, receiver: int) -> float:
+        return self.probability
+
+
+def _loss_models():
+    topology = grid_topology(4, 0.5)
+    return [
+        GlobalLoss(0.0),
+        GlobalLoss(0.37),
+        GlobalLoss(1.0),
+        PerLinkLoss(0.25, overrides={(0, 1): 0.0, (0, 2): 1.0, (0, 5): 0.6}),
+        DistanceLoss(topology, floor=0.05, ceiling=0.95),
+        _ScalarOnlyLoss(0.4),
+    ]
+
+
+class TestLossVectorEquivalence:
+    @pytest.mark.parametrize("model", _loss_models(), ids=lambda m: type(m).__name__)
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    def test_matches_scalar_draw_for_draw(self, model, seed):
+        receivers = [1, 2, 3, 5, 6, 7, 9, 10]
+        scalar_rng = np.random.default_rng(seed)
+        vector_rng = np.random.default_rng(seed)
+        scalar = [model.delivered(0, r, scalar_rng) for r in receivers]
+        vector = model.loss_vector(0, receivers, vector_rng)
+        assert vector.dtype == bool
+        assert list(vector) == scalar
+        # identical stream consumption: later draws agree too
+        assert scalar_rng.bit_generator.state == vector_rng.bit_generator.state
+
+    def test_property_random_probabilities(self):
+        """loss_vector == [delivered(...)] over random per-link tables."""
+        meta_rng = np.random.default_rng(42)
+        for _ in range(50):
+            n = int(meta_rng.integers(1, 20))
+            receivers = list(range(1, n + 1))
+            probs = meta_rng.random(n)
+            # sprinkle degenerate links, which consume no draws
+            probs[meta_rng.random(n) < 0.2] = 0.0
+            probs[meta_rng.random(n) < 0.2] = 1.0
+            model = PerLinkLoss(
+                0.5, overrides={(0, r): float(p) for r, p in zip(receivers, probs)}
+            )
+            seed = int(meta_rng.integers(0, 2**32))
+            a, b = np.random.default_rng(seed), np.random.default_rng(seed)
+            scalar = [model.delivered(0, r, a) for r in receivers]
+            assert list(model.loss_vector(0, receivers, b)) == scalar
+            assert a.bit_generator.state == b.bit_generator.state
+
+    def test_empty_receiver_list(self):
+        rng = np.random.default_rng(0)
+        state = rng.bit_generator.state
+        assert list(GlobalLoss(0.5).loss_vector(0, [], rng)) == []
+        assert rng.bit_generator.state == state
+
+
+def _radio_pair(loss_probability: float, seed: int, batteries=None):
+    """Two identically-seeded radios, one batched and one legacy."""
+    radios = []
+    for batch in (True, False):
+        topology = grid_topology(3, 0.5)
+        simulator = Simulator(seed=seed)
+        radio = Radio(
+            simulator,
+            topology,
+            loss_model=GlobalLoss(loss_probability),
+            batch_fanout=batch,
+        )
+        radio.populate(battery_capacity=batteries)
+        radios.append(radio)
+    return radios
+
+
+class TestDeadReceiverAccounting:
+    @pytest.mark.parametrize("batch", [True, False])
+    def test_dead_receivers_counted_separately(self, batch):
+        topology = grid_topology(2, 1.0)  # everyone hears everyone
+        simulator = Simulator(seed=1)
+        radio = Radio(simulator, topology, batch_fanout=batch)
+        radio.populate(battery_capacity=10.0)
+        radio.node(3).battery.draw(10.0)
+        assert not radio.node(3).alive
+        received = []
+        radio.node(1).attach(lambda message, overheard: received.append(message))
+        radio.broadcast(Invitation(sender=0, value=1.0, epoch=0))
+        simulator.run_until(1.0)
+        assert len(received) == 1
+        assert radio.stats.dropped_dead["Invitation"] == 1
+        assert radio.stats.dropped["Invitation"] == 0
+        assert radio.stats.delivered[(1, "Invitation")] == 1
+        assert (3, "Invitation") not in radio.stats.delivered
+
+    def test_dead_receivers_consume_no_draws(self):
+        """Killing a node must not shift loss outcomes for the others."""
+        batched, legacy = _radio_pair(0.4, seed=9, batteries=10.0)
+        for radio in (batched, legacy):
+            radio.node(4).battery.draw(10.0)
+            radio.broadcast(Invitation(sender=0, value=1.0, epoch=0))
+            radio.simulator.run_until(1.0)
+        assert batched.stats.delivered == legacy.stats.delivered
+        assert batched.stats.dropped == legacy.stats.dropped
+        assert batched.stats.dropped_dead == legacy.stats.dropped_dead
+        assert (
+            batched._rng.bit_generator.state == legacy._rng.bit_generator.state
+        )
+
+
+def _run_discovery_pair(policy: str, loss: float, seed: int = 2):
+    """Run the §6.1 skeleton twice, batched vs legacy, on identical inputs."""
+    setup = NetworkSetup(
+        n_nodes=30,
+        transmission_range=0.6,
+        loss_probability=loss,
+        cache_policy=policy,
+        cache_bytes=1024,
+        train_duration=5.0,
+        election_time=20.0,
+    )
+    dataset = random_walk_dataset(setup, n_classes=3, seed=seed, length=40)
+    results = []
+    for batch in (True, False):
+        topology_rng = np.random.default_rng(seed)
+        topology = uniform_random_topology(
+            setup.n_nodes, setup.transmission_range, topology_rng
+        )
+        runtime = SnapshotRuntime(
+            topology=topology,
+            dataset=dataset,
+            config=setup.protocol_config(),
+            seed=seed,
+            loss_model=GlobalLoss(loss),
+            cache_factory=make_cache_factory(setup.cache_policy, setup.cache_bytes),
+            keep_trace_records=True,
+        )
+        runtime.radio.batch_fanout = batch
+        runtime.train(duration=setup.train_duration)
+        runtime.advance_to(setup.election_time)
+        view = runtime.run_election()
+        results.append((runtime, view))
+    return results
+
+
+class TestGoldenTrace:
+    """Batched and legacy fan-out walk bit-identical trajectories."""
+
+    @pytest.mark.parametrize("policy", ["model-aware", "round-robin"])
+    @pytest.mark.parametrize("loss", [0.0, 0.3])
+    def test_discovery_trajectory_identical(self, policy, loss):
+        (batched, batched_view), (legacy, legacy_view) = _run_discovery_pair(
+            policy, loss
+        )
+        # same election outcome
+        assert batched_view == legacy_view
+        # same message accounting, category by category
+        assert batched.radio.stats.sent == legacy.radio.stats.sent
+        assert batched.radio.stats.delivered == legacy.radio.stats.delivered
+        assert batched.radio.stats.dropped == legacy.radio.stats.dropped
+        assert batched.radio.stats.dropped_dead == legacy.radio.stats.dropped_dead
+        # same event-by-event trace (times, kinds and payloads)
+        assert batched.simulator.trace.records == legacy.simulator.trace.records
+        # same final radio RNG state: every Bernoulli draw matched up
+        assert (
+            batched.radio._rng.bit_generator.state
+            == legacy.radio._rng.bit_generator.state
+        )
+        # and the clocks agree
+        assert batched.now == legacy.now

@@ -106,3 +106,66 @@ class TestGenerators:
         assert [a.position(i) for i in a.node_ids] == [
             b.position(i) for i in b.node_ids
         ]
+
+
+class TestGridBucketing:
+    """The spatial-grid neighbor computation matches brute force exactly."""
+
+    @staticmethod
+    def _brute_force_out(positions, ranges):
+        out = []
+        for i, (xi, yi) in enumerate(positions):
+            hearers = []
+            for j, (xj, yj) in enumerate(positions):
+                if i == j:
+                    continue
+                dx, dy = xi - xj, yi - yj
+                if np.sqrt(dx * dx + dy * dy) <= ranges[i]:
+                    hearers.append(j)
+            out.append(tuple(hearers))
+        return out
+
+    def test_matches_brute_force_mixed_ranges(self):
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            n = int(rng.integers(2, 80))
+            positions = [(float(x), float(y)) for x, y in rng.random((n, 2))]
+            ranges = [float(r) for r in rng.uniform(0.05, 0.8, n)]
+            topo = Topology(positions, ranges)
+            expected = self._brute_force_out(positions, ranges)
+            assert [topo.out_neighbors(i) for i in range(n)] == expected
+
+    def test_matches_brute_force_offsets_outside_unit_square(self):
+        """Negative and large coordinates hash into the grid correctly."""
+        rng = np.random.default_rng(6)
+        positions = [
+            (float(x), float(y)) for x, y in rng.uniform(-3.0, 7.0, (60, 2))
+        ]
+        topo = Topology(positions, 1.3)
+        expected = self._brute_force_out(positions, [1.3] * 60)
+        assert [topo.out_neighbors(i) for i in range(60)] == expected
+
+    def test_in_neighbors_are_reverse_of_out(self):
+        rng = np.random.default_rng(7)
+        topo = uniform_random_topology(50, 0.4, rng)
+        for receiver in topo.node_ids:
+            expected = tuple(
+                sender
+                for sender in topo.node_ids
+                if receiver in topo.out_neighbors(sender)
+            )
+            assert topo.in_neighbors(receiver) == expected
+
+    def test_can_transmit_agrees_with_out_neighbors(self):
+        rng = np.random.default_rng(8)
+        topo = uniform_random_topology(40, 0.3, rng)
+        for sender in topo.node_ids:
+            hearers = set(topo.out_neighbors(sender))
+            for receiver in topo.node_ids:
+                assert topo.can_transmit(sender, receiver) == (receiver in hearers)
+
+    def test_single_node(self):
+        topo = Topology([(0.5, 0.5)], ranges=1.0)
+        assert topo.out_neighbors(0) == ()
+        assert topo.in_neighbors(0) == ()
+        assert topo.is_connected()
