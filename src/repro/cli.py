@@ -27,6 +27,7 @@ from repro.core.config import ProtocolConfig
 from repro.core.runtime import SnapshotRuntime
 from repro.data.random_walk import RandomWalkConfig, generate_random_walk
 from repro.experiments import (
+    coverage_under_failure,
     figure6_vary_classes,
     figure7_vary_message_loss,
     figure8_vary_cache_size,
@@ -169,6 +170,11 @@ def _experiment_runners(
         "fig15": lambda: _format_maintenance(
             figure15_messages_per_update(), "messages/node"
         ),
+        "failure": lambda: format_multi_series(
+            coverage_under_failure(repetitions=repetitions),
+            "death rate / period",
+            "Coverage under failure",
+        ),
     }
 
 
@@ -249,7 +255,8 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", help="regenerate one of the paper's tables/figures"
     )
     experiment.add_argument(
-        "id", help="fig6..fig15 or table3 (see DESIGN.md for the index)"
+        "id",
+        help="fig6..fig15, table3 or failure (see DESIGN.md for the index)",
     )
     experiment.add_argument(
         "--repetitions", type=int, default=2, help="averaging repetitions"

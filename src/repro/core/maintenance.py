@@ -106,10 +106,23 @@ class MaintenanceManager:
         )
 
     def stop(self) -> None:
-        """Disarm all maintenance tasks."""
+        """Disarm all maintenance tasks, closing the open accounting window.
+
+        Idempotent: stopping an already-stopped (or never-started)
+        manager is a no-op.  The partial round in flight at stop time is
+        recorded if it carried any traffic — otherwise its messages
+        silently vanish from :meth:`round_message_costs` *and* a
+        subsequent :meth:`start` re-checkpoints mid-window, folding the
+        orphaned messages into the next round's cost (skewing Figure 15
+        upward).
+        """
+        if not self._tasks:
+            return
         for task in self._tasks:
             task.stop()
         self._tasks.clear()
+        if self.stats.window_protocol_total():
+            self._close_round()
 
     def _make_node_action(self, node_id: int):
         def act() -> None:

@@ -259,6 +259,43 @@ class ProtocolNode:
         """
         self._refining = False
 
+    def reboot(self) -> None:
+        """Cold-start recovery after a crash-and-revival (fault injection).
+
+        A revived node keeps its trained neighbor models (flash survives
+        a reboot) but forgets all volatile protocol state: the members
+        it claimed, its representative pointer, and every in-flight flag
+        and timer.  Without this reset, a node that crashed while
+        ``_awaiting_offers`` was set would come back permanently mute —
+        never answering invitations and never finishing its own
+        re-election — because ``_finish_reelection`` fired while it was
+        down.  It then rejoins the structure through an ordinary §5.1
+        re-election, announcing itself to the neighborhood.
+        """
+        self.mode = NodeMode.UNDEFINED
+        self.representative_id = None
+        self.represented.clear()
+        self._collecting_invitations = False
+        self._heard_invitations.clear()
+        self._heard_list_lengths.clear()
+        self._offers.clear()
+        self._my_list_length = 0
+        self._refining = False
+        self._sent_recall = False
+        self._sent_stay_active = False
+        self._ack_pending = False
+        self._awaiting_offers = False
+        self._await_reply = False
+        self._resigning = False
+        self._pending_invitations.clear()
+        self._offer_flush_scheduled = False
+        self._cancel_event("_rule4_event")
+        self._cancel_event("_reply_timeout_event")
+        self.simulator.trace.emit(
+            self.simulator.now, "protocol.reboot", node=self.node_id
+        )
+        self.start_reelection()
+
     # ------------------------------------------------------------------
     # refinement rules (Figure 5)
     # ------------------------------------------------------------------
@@ -380,6 +417,12 @@ class ProtocolNode:
         self._reply_timeout_event = None
         if not self._await_reply or not self.alive:
             return
+        if self.mode is not NodeMode.PASSIVE:
+            # The node changed role while the probe was in flight (e.g.
+            # it was chosen as a representative and took the role); the
+            # stale timeout must not push it back into a re-election.
+            self._await_reply = False
+            return
         self._await_reply = False
         self.simulator.trace.emit(
             self.simulator.now, "maintenance.rep_unreachable",
@@ -411,6 +454,20 @@ class ProtocolNode:
         """
         if not self.alive:
             return
+        # Re-entrancy guard, uniform across every entry point (heartbeat
+        # timeout, bad-estimate recall, Resign hand-off, lone-active
+        # invite, reboot): a node already collecting offers — or cooling
+        # down after a resignation — must not open a second overlapping
+        # round.  The overlap would double-count ``reelections``, clear
+        # ``_offers`` mid-collection, and send a second Invitation that
+        # breaks Table 2's per-epoch message bound.
+        if self._awaiting_offers or self._resigning:
+            return
+        # This round supersedes any in-flight heartbeat exchange: the
+        # pending timeout would otherwise fire mid-election and re-enter
+        # here through ``_heartbeat_timeout``.
+        self._await_reply = False
+        self._cancel_event("_reply_timeout_event")
         old_rep = self.representative_id
         if (
             recall_old
@@ -594,7 +651,10 @@ class ProtocolNode:
         )
         if not candidates:
             return
-        epoch = max(epoch for __, epoch in pending.values())
+        # Answer at the network's epoch, never below our own: an inviter
+        # that rebooted with a stale epoch adopts ours from this list
+        # (see ``_on_candidate_list``), re-synchronizing the epochs.
+        epoch = max(self.epoch, max(epoch for __, epoch in pending.values()))
         self.radio.broadcast(
             CandidateList(
                 sender=self.node_id,
@@ -606,7 +666,16 @@ class ProtocolNode:
 
     def _on_candidate_list(self, message: CandidateList) -> None:
         if message.epoch != self.epoch:
-            return
+            # A node that was down during a global election re-invites
+            # with a stale epoch; responders answer at the *network's*
+            # epoch.  Adopting the newer epoch (monotone per node) is
+            # what lets the revived node re-enter the structure — with
+            # strict equality its Accept would be rejected by the chosen
+            # representative and it would re-elect forever.  Older
+            # epochs are still stale traffic and stay rejected.
+            if not (self._awaiting_offers and message.epoch > self.epoch):
+                return
+            self.epoch = message.epoch
         self._heard_list_lengths[message.sender] = len(message.candidates)
         if self.node_id in message.candidates:
             self._offers[message.sender] = (
@@ -614,8 +683,12 @@ class ProtocolNode:
             )
 
     def _on_accept(self, message: Accept) -> None:
-        if message.representative != self.node_id or message.epoch != self.epoch:
+        if message.representative != self.node_id or message.epoch < self.epoch:
             return
+        # Newer epochs are adopted, not rejected (monotone per node):
+        # the accepting member may have re-synchronized to the network's
+        # epoch while we were down during an election.
+        self.epoch = max(self.epoch, message.epoch)
         self.represented[message.sender] = MemberInfo(
             location=message.location, accepted_at=message.timestamp
         )
@@ -627,6 +700,11 @@ class ProtocolNode:
             # the role — it turns ACTIVE and recalls its own
             # representative (the Rule-2 clean-up, applied outside the
             # global round), keeping the representation structure flat.
+            # Any heartbeat probe in flight is void with the role: its
+            # timeout must not drag the new representative back into a
+            # re-election of its own.
+            self._await_reply = False
+            self._cancel_event("_reply_timeout_event")
             self.mode = NodeMode.ACTIVE
             old_rep = self.representative_id
             self.representative_id = self.node_id

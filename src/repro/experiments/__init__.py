@@ -1,10 +1,15 @@
 """Experiment harness: one runner per table/figure of the paper's §6.
 
 Sensitivity analysis (Figures 6–9), query savings (Table 3, Figure 10)
-and the weather-data experiments (Figures 11–15), each returning the
-series the paper plots, averaged over repetitions with fresh seeds.
+the weather-data experiments (Figures 11–15) and the coverage-under-
+failure sweep built on the fault-injection subsystem, each returning
+the series the paper plots, averaged over repetitions with fresh seeds.
 """
 
+from repro.experiments.failure import (
+    DEFAULT_DEATH_RATES,
+    coverage_under_failure,
+)
 from repro.experiments.harness import (
     FULL_RANGE,
     NetworkSetup,
@@ -47,6 +52,7 @@ from repro.experiments.weather_experiments import (
 )
 
 __all__ = [
+    "DEFAULT_DEATH_RATES",
     "FULL_RANGE",
     "LifetimeResult",
     "MaintenanceRun",
@@ -56,6 +62,7 @@ __all__ = [
     "Table3Cell",
     "Table3Result",
     "build_runtime",
+    "coverage_under_failure",
     "figure10_lifetime",
     "figure11_vary_threshold",
     "figure12_estimation_error",

@@ -1,0 +1,262 @@
+"""Randomized fault-schedule stress runs ("chaos testing").
+
+One chaos schedule is a complete miniature deployment: train, elect,
+start §5.1 maintenance, arm a randomized :class:`FaultPlan` (crashes,
+revivals, battery spikes, partitions, and — for lossy schedules — a
+link-loss burst spanning the fault window), let the network ride the
+faults out, then stop maintenance, drain in-flight exchanges and run
+the :class:`~repro.faults.invariants.InvariantChecker` at quiescence.
+
+The timing discipline matters and is the reason the checks are sound:
+
+* The global election runs *before* the plan is armed, so the Table 2
+  six-message bound is checked over a fault-free epoch window — the
+  bound genuinely cannot hold while Rule-4 retries fight message loss.
+* Every fault effect ends by the plan's ``end_time``; the run then
+  continues for ``recovery_periods`` heartbeat periods of clean
+  maintenance, which is what §5.1 needs to detect dead representatives
+  (one heartbeat timeout), fold orphans back in (one lone-active
+  invitation), and expire stale claims (``member_expiry_periods``).
+* Maintenance is stopped and the simulation drained one and a half
+  further periods so reply windows, resign cooldowns and heartbeat
+  timeouts all land before the structural check.
+
+Strict back-claims are asserted on lossless schedules; under a loss
+burst the final check relaxes to liveness-only pointers, since a lost
+Accept legitimately leaves a one-sided edge until the next repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import ProtocolConfig
+from repro.core.runtime import SnapshotRuntime
+from repro.data.series import Dataset
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import InvariantChecker, InvariantViolation
+from repro.faults.plan import (
+    BatteryDrain,
+    FaultEvent,
+    FaultPlan,
+    LinkLossBurst,
+    NetworkPartition,
+    NodeCrash,
+)
+from repro.network.topology import Topology
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosResult",
+    "build_chaos_runtime",
+    "random_fault_plan",
+    "run_chaos_schedule",
+]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Knobs of one randomized fault schedule."""
+
+    seed: int
+    n_nodes: int = 10
+    n_faults: int = 6
+    loss_burst: float = 0.0
+    cache_policy: str = "model-aware"
+    threshold: float = 5.0
+    heartbeat_period: float = 8.0
+    rotation_probability: float = 0.1
+    member_expiry_periods: float = 2.0
+    battery_capacity: Optional[float] = 4000.0
+    message_bound: int = 6
+    fault_window_periods: float = 3.0
+    recovery_periods: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 4:
+            raise ValueError(f"chaos needs at least 4 nodes, got {self.n_nodes}")
+        if not 0.0 <= self.loss_burst < 1.0:
+            raise ValueError(f"loss_burst must be in [0, 1), got {self.loss_burst}")
+
+    @property
+    def lossless(self) -> bool:
+        return self.loss_burst == 0.0
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one chaos schedule."""
+
+    config: ChaosConfig
+    plan: FaultPlan
+    violations: list[InvariantViolation] = field(default_factory=list)
+    checks_run: int = 0
+    bound_checks_run: int = 0
+    crashes: int = 0
+    revivals: int = 0
+    reelections: int = 0
+    final_coverage: float = 0.0
+    alive_fraction: float = 1.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the schedule completed with zero invariant violations."""
+        return not self.violations
+
+
+def build_chaos_runtime(config: ChaosConfig) -> SnapshotRuntime:
+    """A small all-in-range network with strongly correlated ramps.
+
+    Correlated data guarantees representability (any node can model any
+    other within the threshold), so structural churn comes from the
+    injected faults, not from modelling noise — the same construction
+    the failure-injection tests use.
+    """
+    # Imported here, not at module top: the experiments package imports
+    # this module (the coverage-under-failure sweep), so a module-level
+    # import of the harness would be circular.
+    from repro.experiments.harness import make_cache_factory
+
+    n = config.n_nodes
+    base = np.linspace(0.0, 30.0, 400)
+    dataset = Dataset(np.stack([base + 0.3 * i for i in range(n)]))
+    topology = Topology([(0.08 * i, 0.0) for i in range(n)], ranges=2.0)
+    protocol = ProtocolConfig(
+        threshold=config.threshold,
+        heartbeat_period=config.heartbeat_period,
+        rotation_probability=config.rotation_probability,
+        member_expiry_periods=config.member_expiry_periods,
+    )
+    return SnapshotRuntime(
+        topology,
+        dataset,
+        protocol,
+        seed=config.seed,
+        cache_factory=make_cache_factory(config.cache_policy, 2048),
+        battery_capacity=config.battery_capacity,
+    )
+
+
+def random_fault_plan(
+    config: ChaosConfig, rng: np.random.Generator
+) -> FaultPlan:
+    """Draw a randomized fault schedule for ``config``'s network.
+
+    At most half the nodes may die permanently, so the network always
+    retains a functioning majority to re-form the structure around.
+    """
+    period = config.heartbeat_period
+    window = config.fault_window_periods * period
+    node_ids = list(range(config.n_nodes))
+    permanent_budget = config.n_nodes // 2
+    events: list[FaultEvent] = []
+    for _ in range(config.n_faults):
+        t = float(rng.uniform(0.0, window))
+        kind = rng.choice(["crash", "blip", "drain", "partition"])
+        if kind == "crash" and permanent_budget > 0:
+            permanent_budget -= 1
+            events.append(
+                NodeCrash(time=t, node_id=int(rng.choice(node_ids)))
+            )
+        elif kind in ("crash", "blip"):
+            events.append(
+                NodeCrash(
+                    time=t,
+                    node_id=int(rng.choice(node_ids)),
+                    down_for=float(rng.uniform(1.0, 2.5) * period),
+                )
+            )
+        elif kind == "drain":
+            events.append(
+                BatteryDrain(
+                    time=t,
+                    node_id=int(rng.choice(node_ids)),
+                    fraction=float(rng.uniform(0.3, 0.6)),
+                )
+            )
+        else:
+            size = int(rng.integers(2, max(3, config.n_nodes // 2) + 1))
+            group = frozenset(
+                int(i) for i in rng.choice(node_ids, size=size, replace=False)
+            )
+            events.append(
+                NetworkPartition(
+                    time=t,
+                    duration=float(rng.uniform(1.0, 2.0) * period),
+                    group=group,
+                )
+            )
+    if config.loss_burst > 0.0:
+        # One burst spanning the whole fault window, so every injected
+        # fault plays out over a degraded radio.
+        events.append(
+            LinkLossBurst(
+                time=0.0,
+                duration=window + period,
+                loss=config.loss_burst,
+            )
+        )
+    return FaultPlan(tuple(events))
+
+
+def run_chaos_schedule(config: ChaosConfig) -> ChaosResult:
+    """Run one full train → elect → faults → quiesce → check schedule.
+
+    Raises :class:`~repro.faults.invariants.InvariantError` on the
+    first violated invariant (the checker's default); the returned
+    result carries counters for aggregation when none is violated.
+    """
+    runtime = build_chaos_runtime(config)
+    injector = FaultInjector(runtime)
+    checker = InvariantChecker(
+        runtime,
+        message_bound=config.message_bound,
+        strict_claims=config.lossless,
+    )
+    plan_rng = np.random.default_rng(np.random.SeedSequence([config.seed, 0xFA11]))
+    plan = random_fault_plan(config, plan_rng)
+    period = config.heartbeat_period
+
+    try:
+        runtime.train(duration=6.0)
+        runtime.run_election()
+        # Post-election quiescence: the structure must already be sound
+        # before any fault fires (also exercises the Table 2 bound
+        # check, which was scheduled during the election window).
+        checker.check()
+
+        runtime.start_maintenance()
+        quiet_at = injector.apply(plan, at=runtime.now + period)
+        # Ride the faults out, then give §5.1 maintenance its recovery
+        # window: heartbeat-timeout detection, lone-active re-invites
+        # and stale-claim expiry all need whole periods to act.
+        runtime.advance_to(quiet_at + config.recovery_periods * period)
+        runtime.maintenance.stop()
+        # Drain in-flight reply windows / resign cooldowns / timeouts.
+        runtime.advance_to(runtime.now + 1.5 * period)
+        checker.check()
+    finally:
+        checker.close()
+
+    alive = [node for node in runtime.nodes.values() if node.alive]
+    covered: set[int] = set()
+    for node in alive:
+        covered |= node.covered_nodes()
+    alive_ids = {node.node_id for node in alive}
+    return ChaosResult(
+        config=config,
+        plan=plan,
+        violations=list(checker.violations),
+        checks_run=checker.checks_run,
+        bound_checks_run=checker.bound_checks_run,
+        crashes=injector.crashes_applied,
+        revivals=injector.revivals_applied,
+        reelections=sum(node.reelections for node in runtime.nodes.values()),
+        final_coverage=(
+            len(covered & alive_ids) / len(alive_ids) if alive_ids else 0.0
+        ),
+        alive_fraction=len(alive) / config.n_nodes,
+    )

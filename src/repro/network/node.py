@@ -39,11 +39,33 @@ class NetworkNode:
         self.node_id = node_id
         self.battery = battery if battery is not None else Battery(None)
         self._handlers: tuple[MessageHandler, ...] = ()
+        self._failed = False
 
     @property
     def alive(self) -> bool:
-        """A node is alive while its battery holds charge."""
-        return not self.battery.depleted
+        """A node is alive while its battery holds charge and it has not
+        been failed by the fault-injection layer."""
+        return not self._failed and not self.battery.depleted
+
+    @property
+    def failed(self) -> bool:
+        """Whether the device is currently crashed by fault injection."""
+        return self._failed
+
+    def fail(self) -> None:
+        """Crash the device: it transmits and receives nothing while down.
+
+        Unlike battery depletion — which is permanent ("replacing them
+        is not an option", §1) — an injected failure models a transient
+        outage (reboot, firmware hang, enclosure knocked over) and can
+        be reversed with :meth:`restore`.
+        """
+        self._failed = True
+
+    def restore(self) -> None:
+        """Clear an injected failure; the device is alive again unless
+        its battery also ran out in the meantime."""
+        self._failed = False
 
     def attach(self, handler: MessageHandler) -> None:
         """Register a handler for every future delivery to this node."""
@@ -71,5 +93,5 @@ class NetworkNode:
             handler(message, overheard)
 
     def __repr__(self) -> str:
-        state = "alive" if self.alive else "dead"
+        state = "alive" if self.alive else ("failed" if self._failed else "dead")
         return f"NetworkNode(id={self.node_id}, {state}, {self.battery!r})"

@@ -15,6 +15,7 @@ measured in long maintenance runs.
 from __future__ import annotations
 
 from collections import Counter
+from typing import Optional
 
 from repro.network.messages import PROTOCOL_MESSAGE_TYPES, Message
 
@@ -87,13 +88,51 @@ class MessageStats:
         )
         return total / n_nodes
 
-    def max_protocol_messages_any_node(self) -> int:
-        """Largest protocol transmission count of any single node."""
+    def max_protocol_messages_any_node(
+        self, since: Optional[Counter] = None
+    ) -> int:
+        """Largest protocol transmission count of any single node.
+
+        Parameters
+        ----------
+        since:
+            A mark previously taken with :meth:`mark`; when given, only
+            transmissions *after* the mark count.  This is how the
+            invariant checker verifies Table 2's per-node message bound
+            over one election epoch's window without disturbing the
+            maintenance manager's own :meth:`checkpoint`.
+        """
         per_node: Counter[int] = Counter()
         for (sender, kind), count in self.sent.items():
             if kind in _PROTOCOL_KINDS:
-                per_node[sender] += count
+                if since is not None:
+                    count -= since.get((sender, kind), 0)
+                if count > 0:
+                    per_node[sender] += count
         return max(per_node.values(), default=0)
+
+    def protocol_sent_per_node(
+        self, since: Optional[Counter] = None
+    ) -> Counter:
+        """Per-node protocol transmission counts (optionally since a mark)."""
+        per_node: Counter[int] = Counter()
+        for (sender, kind), count in self.sent.items():
+            if kind in _PROTOCOL_KINDS:
+                if since is not None:
+                    count -= since.get((sender, kind), 0)
+                if count > 0:
+                    per_node[sender] += count
+        return per_node
+
+    def mark(self) -> Counter:
+        """An immutable copy of the sent counters, for windowed reads.
+
+        Unlike :meth:`checkpoint` — a single slot owned by the
+        maintenance manager's round accounting — marks are values the
+        caller holds, so any number of observers can window the stream
+        independently without clobbering each other.
+        """
+        return Counter(self.sent)
 
     # -- windowing ---------------------------------------------------------
 
@@ -106,6 +145,14 @@ class MessageStats:
         delta = Counter(self.sent)
         delta.subtract(self._sent_checkpoint)
         return Counter({key: count for key, count in delta.items() if count > 0})
+
+    def window_protocol_total(self) -> int:
+        """Protocol transmissions accumulated since the last checkpoint."""
+        return sum(
+            count
+            for (_, kind), count in self.window().items()
+            if kind in _PROTOCOL_KINDS
+        )
 
     def window_protocol_per_node(self, n_nodes: int) -> float:
         """Average protocol messages per node since the last checkpoint."""

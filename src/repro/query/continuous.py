@@ -115,10 +115,16 @@ class ContinuousQuery:
 
     def _sample(self) -> None:
         self._epoch += 1
+        sink = self.sink
+        if sink is not None:
+            device = self.runtime.radio.nodes.get(sink)
+            if device is None or not device.alive:
+                # The pinned collection point died mid-query; degrade to
+                # a per-epoch random alive sink instead of crashing the
+                # simulation out of the executor's sink validation.
+                sink = None
         try:
-            result = self.executor.execute(
-                self.query, sink=self.sink, rounds=1
-            )
+            result = self.executor.execute(self.query, sink=sink, rounds=1)
         except RuntimeError:
             # the network died mid-query
             self.stop()

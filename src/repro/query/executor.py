@@ -432,13 +432,6 @@ class QueryExecutor:
             node = self.runtime.nodes.get(responder)
             if node is not None and node.alive:
                 node.check_energy()
-        # A node knows its own battery after transmitting: give the
-        # responding representatives the chance to run the §5.1
-        # energy hand-off *before* they silently die mid-round.
-        for responder in responders:
-            node = self.runtime.nodes.get(responder)
-            if node is not None and node.alive:
-                node.check_energy()
 
     @staticmethod
     def _aggregate(

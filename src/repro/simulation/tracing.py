@@ -10,11 +10,11 @@ free.
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-__all__ = ["TraceRecord", "TraceLog"]
+__all__ = ["TraceRecord", "TraceLog", "TraceSubscription"]
 
 
 @dataclass(frozen=True)
@@ -36,6 +36,34 @@ class TraceRecord:
     payload: dict[str, Any] = field(default_factory=dict)
 
 
+class TraceSubscription:
+    """Handle returned by :meth:`TraceLog.subscribe`; ``cancel`` detaches.
+
+    Cancelling is idempotent, so observers that may be torn down from
+    several paths (a checker's ``close`` plus a test's teardown) can
+    cancel unconditionally.
+    """
+
+    def __init__(
+        self, log: "TraceLog", kind: str, callback: Callable[[TraceRecord], None]
+    ) -> None:
+        self._log = log
+        self.kind = kind
+        self.callback = callback
+        self._active = True
+
+    @property
+    def active(self) -> bool:
+        """Whether the subscription still receives records."""
+        return self._active
+
+    def cancel(self) -> None:
+        """Stop receiving records; safe to call more than once."""
+        if self._active:
+            self._active = False
+            self._log.unsubscribe(self.kind, self.callback)
+
+
 class TraceLog:
     """Collects :class:`TraceRecord` entries and dispatches to subscribers.
 
@@ -48,8 +76,11 @@ class TraceLog:
         self.keep_records = keep_records
         self.records: list[TraceRecord] = []
         self.counts: Counter[str] = Counter()
-        self._subscribers: defaultdict[str, list[Callable[[TraceRecord], None]]]
-        self._subscribers = defaultdict(list)
+        # Subscribers are stored as immutable tuples so ``emit`` can
+        # iterate a stable snapshot: a callback that subscribes or
+        # unsubscribes during dispatch replaces the tuple and only
+        # affects later emissions, never the in-flight one.
+        self._subscribers: dict[str, tuple[Callable[[TraceRecord], None], ...]] = {}
 
     def emit(self, time: float, kind: str, **payload: Any) -> None:
         """Record an occurrence of ``kind`` at ``time``."""
@@ -60,9 +91,34 @@ class TraceLog:
         for callback in self._subscribers.get(kind, ()):
             callback(record)
 
-    def subscribe(self, kind: str, callback: Callable[[TraceRecord], None]) -> None:
-        """Invoke ``callback`` for every future record of ``kind``."""
-        self._subscribers[kind].append(callback)
+    def subscribe(
+        self, kind: str, callback: Callable[[TraceRecord], None]
+    ) -> TraceSubscription:
+        """Invoke ``callback`` for every future record of ``kind``.
+
+        Returns a :class:`TraceSubscription` whose ``cancel`` detaches
+        the callback again — long-lived runtimes shared by repeated
+        harness runs must cancel their observers or the closures (and
+        everything they capture) accumulate forever.
+        """
+        self._subscribers[kind] = self._subscribers.get(kind, ()) + (callback,)
+        return TraceSubscription(self, kind, callback)
+
+    def unsubscribe(self, kind: str, callback: Callable[[TraceRecord], None]) -> None:
+        """Remove one registration of ``callback`` for ``kind`` (no-op if absent)."""
+        current = self._subscribers.get(kind)
+        if not current or callback not in current:
+            return
+        remaining = list(current)
+        remaining.remove(callback)
+        if remaining:
+            self._subscribers[kind] = tuple(remaining)
+        else:
+            del self._subscribers[kind]
+
+    def n_subscribers(self, kind: str) -> int:
+        """Number of callbacks currently subscribed to ``kind``."""
+        return len(self._subscribers.get(kind, ()))
 
     def count(self, kind: str) -> int:
         """Number of records of ``kind`` emitted so far."""

@@ -213,3 +213,51 @@ class TestManagerLifecycle:
         runtime.advance_to(runtime.now + 50)
         assert runtime.stats.sent_of_kind("Heartbeat") == before
         assert not runtime.maintenance.running
+
+    def test_stop_records_partial_round(self):
+        """Stopping mid-period must close the open accounting window:
+        1.5 periods of traffic = one full round plus a recorded partial,
+        not one round with half a period's messages dropped."""
+        runtime = two_cluster_runtime(heartbeat_period=10.0)
+        warmed(runtime)
+        runtime.start_maintenance()
+        runtime.advance_to(runtime.now + 15.0)
+        runtime.maintenance.stop()
+        assert runtime.maintenance.rounds_completed == 2
+        costs = runtime.maintenance.round_message_costs()
+        assert len(costs) == 2
+        assert costs[1] > 0.0  # the partial round carried heartbeats
+
+    def test_stop_is_idempotent(self):
+        runtime = two_cluster_runtime()
+        warmed(runtime)
+        runtime.maintenance.stop()  # never started: no-op
+        runtime.start_maintenance()
+        runtime.advance_to(runtime.now + 15.0)
+        runtime.maintenance.stop()
+        rounds = runtime.maintenance.rounds_completed
+        costs = runtime.maintenance.round_message_costs()
+        runtime.maintenance.stop()  # second stop: nothing double-counted
+        assert runtime.maintenance.rounds_completed == rounds
+        assert runtime.maintenance.round_message_costs() == costs
+
+    def test_restart_after_stop_runs_fresh_rounds(self):
+        runtime = two_cluster_runtime()
+        warmed(runtime)
+        runtime.start_maintenance()
+        runtime.advance_to(runtime.now + 15.0)
+        runtime.maintenance.stop()
+        rounds = runtime.maintenance.rounds_completed
+        runtime.maintenance.start()  # no RuntimeError: fully disarmed
+        assert runtime.maintenance.running
+        runtime.advance_to(runtime.now + 20.0)
+        assert runtime.maintenance.rounds_completed > rounds
+        runtime.maintenance.stop()
+
+    def test_stop_without_traffic_records_no_partial_round(self):
+        runtime = two_cluster_runtime(heartbeat_period=10.0)
+        warmed(runtime)
+        runtime.start_maintenance()
+        runtime.maintenance.stop()  # immediately: window is empty
+        assert runtime.maintenance.rounds_completed == 0
+        assert runtime.maintenance.round_message_costs() == []

@@ -1,0 +1,144 @@
+"""Regression tests for §5.1 re-election re-entrancy.
+
+The race: a PASSIVE node has a heartbeat probe in flight (reply pending,
+timeout armed) when its representative resigns.  The Resign starts a
+re-election; the stale heartbeat exchange — either the late reply
+reporting a now-bogus estimate, or the timeout itself — then re-entered
+``start_reelection`` *mid-collection*, double-counting ``reelections``,
+clearing ``_offers`` under the first round's feet and broadcasting a
+second Invitation that broke Table 2's per-epoch message budget.
+
+The fix guards every entry point behind ``_awaiting_offers`` /
+``_resigning`` and voids the in-flight heartbeat exchange when a
+re-election begins; these tests drive the exact interleavings through
+the event queue.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import ProtocolConfig
+from repro.core.runtime import SnapshotRuntime
+from repro.core.status import NodeMode
+from repro.data.series import Dataset
+from repro.network.topology import Topology
+
+
+def five_node_runtime(seed: int = 21, **config_overrides) -> SnapshotRuntime:
+    base = np.linspace(0.0, 40.0, 400)
+    values = np.stack([base + offset for offset in (0.0, 0.5, 1.0, 1.5, 2.0)])
+    topology = Topology([(0.1 * i, 0.0) for i in range(5)], ranges=2.0)
+    config = ProtocolConfig(
+        threshold=5.0, heartbeat_period=10.0, **config_overrides
+    )
+    runtime = SnapshotRuntime(topology, Dataset(values), config, seed=seed)
+    runtime.train(duration=10)
+    runtime.run_election()
+    return runtime
+
+
+def rep_and_member(runtime: SnapshotRuntime) -> tuple[int, int]:
+    member = next(
+        node_id
+        for node_id, node in runtime.nodes.items()
+        if node.mode is NodeMode.PASSIVE
+    )
+    return runtime.nodes[member].representative_id, member
+
+
+class TestHeartbeatResignRace:
+    def test_resign_during_heartbeat_counts_one_reelection(self):
+        """Heartbeat in flight + Resign arriving = exactly one
+        re-election round and one Invitation from the member."""
+        runtime = five_node_runtime()
+        rep_id, member_id = rep_and_member(runtime)
+        member = runtime.nodes[member_id]
+        mark = runtime.stats.mark()
+
+        # Interleave inside one event-queue instant: the probe departs,
+        # then the representative resigns before any reply lands.
+        member.send_heartbeat()
+        runtime.nodes[rep_id].resign()
+        runtime.advance_to(runtime.now + 6.0)  # reply window + settling
+
+        assert member.reelections == 1
+        sent = runtime.stats.protocol_sent_per_node(since=mark)
+        invitations = runtime.stats.sent.get((member_id, "Invitation"), 0) - mark.get(
+            (member_id, "Invitation"), 0
+        )
+        assert invitations == 1
+        assert member.mode.settled
+        assert not member._awaiting_offers
+        assert not member._await_reply
+        # Table 2's per-node budget holds across the whole exchange.
+        assert sent[member_id] <= 6
+
+    def test_stale_heartbeat_timeout_does_not_reenter(self):
+        """The timeout armed before the Resign must fizzle: it fires
+        after the re-election began and must not start a second one."""
+        runtime = five_node_runtime()
+        rep_id, member_id = rep_and_member(runtime)
+        member = runtime.nodes[member_id]
+
+        member.send_heartbeat()
+        assert member._await_reply
+        runtime.nodes[rep_id].resign()
+        # Run exactly past the heartbeat timeout (0.5) with the
+        # re-election still collecting offers (reply window 3.0).
+        runtime.advance_to(runtime.now + 1.0)
+        assert member._awaiting_offers  # round 1 still open
+        assert member.reelections == 1  # timeout did not re-enter
+        runtime.advance_to(runtime.now + 5.0)
+        assert member.reelections == 1
+
+    def test_reelection_voids_pending_heartbeat_exchange(self):
+        runtime = five_node_runtime()
+        __, member_id = rep_and_member(runtime)
+        member = runtime.nodes[member_id]
+        member.send_heartbeat()
+        assert member._await_reply
+        member.start_reelection()
+        assert not member._await_reply
+        assert member._reply_timeout_event is None
+
+
+class TestReentrancyGuards:
+    def test_start_reelection_noop_while_awaiting_offers(self):
+        runtime = five_node_runtime()
+        __, member_id = rep_and_member(runtime)
+        member = runtime.nodes[member_id]
+        member.start_reelection()
+        assert member.reelections == 1
+        member.start_reelection()  # re-entrant call: guarded
+        member.start_reelection()
+        assert member.reelections == 1
+
+    def test_start_reelection_noop_while_resigning(self):
+        runtime = five_node_runtime()
+        rep_id, __ = rep_and_member(runtime)
+        rep = runtime.nodes[rep_id]
+        rep.resign()
+        assert rep._resigning
+        before = rep.reelections
+        rep.start_reelection()
+        assert rep.reelections == before
+
+    def test_concurrent_member_reelections_after_resign_all_settle(self):
+        """Every member of a resigned representative re-elects at once;
+        each counts exactly one round and the network re-forms."""
+        runtime = five_node_runtime()
+        rep_id, __ = rep_and_member(runtime)
+        members = [
+            node_id
+            for node_id, node in runtime.nodes.items()
+            if node.mode is NodeMode.PASSIVE
+            and node.representative_id == rep_id
+        ]
+        runtime.nodes[rep_id].resign()
+        runtime.advance_to(runtime.now + 8.0)
+        for member_id in members:
+            node = runtime.nodes[member_id]
+            assert node.reelections == 1
+            assert node.mode.settled
+            assert not node._awaiting_offers

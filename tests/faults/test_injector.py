@@ -1,0 +1,212 @@
+"""Tests for the fault injector: crashes, revivals, drains, link faults."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.runtime import SnapshotRuntime
+from repro.data.series import Dataset
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    BatteryDrain,
+    FaultPlan,
+    LinkLossBurst,
+    NetworkPartition,
+    NodeCrash,
+)
+from repro.network.links import GlobalLoss
+
+
+def correlated_runtime(
+    n: int = 8, seed: int = 11, battery: float | None = None, loss: float = 0.0
+) -> SnapshotRuntime:
+    from repro.network.topology import Topology
+
+    base = np.linspace(0.0, 30.0, 300)
+    dataset = Dataset(np.stack([base + 0.3 * i for i in range(n)]))
+    topology = Topology([(0.08 * i, 0.0) for i in range(n)], ranges=2.0)
+    return SnapshotRuntime(
+        topology,
+        dataset,
+        ProtocolConfig(threshold=5.0, heartbeat_period=10.0),
+        seed=seed,
+        battery_capacity=battery,
+        loss_model=GlobalLoss(loss),
+    )
+
+
+class TestCrashAndRevive:
+    def test_crashed_node_sends_nothing(self):
+        runtime = correlated_runtime()
+        injector = FaultInjector(runtime)
+        injector.crash(3)
+        device = runtime.radio.node(3)
+        assert device.failed and not device.alive
+        from repro.network.messages import Invitation
+
+        assert not runtime.radio.broadcast(
+            Invitation(sender=3, value=0.0, epoch=0)
+        )
+
+    def test_crash_is_idempotent(self):
+        runtime = correlated_runtime()
+        injector = FaultInjector(runtime)
+        injector.crash(3)
+        injector.crash(3)
+        assert injector.crashes_applied == 1
+        assert runtime.simulator.trace.count("fault.crash") == 1
+
+    def test_revive_reboots_protocol_node(self):
+        runtime = correlated_runtime()
+        injector = FaultInjector(runtime)
+        runtime.train(duration=6)
+        runtime.run_election()
+        injector.crash(3)
+        injector.revive(3)
+        assert runtime.radio.node(3).alive
+        assert runtime.simulator.trace.count("protocol.reboot") == 1
+        # The reboot re-elects: after the reply window the node settles.
+        runtime.advance_to(runtime.now + 5.0)
+        assert runtime.nodes[3].mode.settled
+
+    def test_revive_without_crash_is_noop(self):
+        runtime = correlated_runtime()
+        injector = FaultInjector(runtime)
+        injector.revive(3)
+        assert injector.revivals_applied == 0
+
+    def test_crashed_while_awaiting_offers_recovers_after_revival(self):
+        """The latent bug the reboot path fixes: a node that dies with
+        ``_awaiting_offers`` set must not come back permanently mute."""
+        runtime = correlated_runtime()
+        injector = FaultInjector(runtime)
+        runtime.train(duration=6)
+        runtime.run_election()
+        node = runtime.nodes[2]
+        node.start_reelection()
+        assert node._awaiting_offers
+        injector.crash(2)
+        runtime.advance_to(runtime.now + 6.0)  # _finish_reelection fires dead
+        injector.revive(2)
+        # The reboot immediately opens a *fresh* re-election; the stale
+        # one (whose _finish_reelection fired while dead) is forgotten,
+        # so this round completes and the node settles.
+        assert node._awaiting_offers
+        runtime.advance_to(runtime.now + 5.0)
+        assert not node._awaiting_offers
+        assert node.mode.settled
+
+    def test_battery_death_not_revived_as_alive(self):
+        runtime = correlated_runtime(battery=50.0)
+        injector = FaultInjector(runtime)
+        injector.crash(1)
+        runtime.radio.node(1).battery.draw(1e9)
+        injector.revive(1)
+        # The outage ended but the battery is gone: still dead, no reboot.
+        assert not runtime.radio.node(1).alive
+        assert runtime.simulator.trace.count("protocol.reboot") == 0
+
+
+class TestDrain:
+    def test_drain_draws_fraction_of_capacity(self):
+        runtime = correlated_runtime(battery=1000.0)
+        injector = FaultInjector(runtime)
+        injector.drain(0, 0.4)
+        assert runtime.radio.node(0).battery.charge == pytest.approx(600.0)
+
+    def test_drain_on_infinite_battery_is_noop(self):
+        runtime = correlated_runtime(battery=None)
+        injector = FaultInjector(runtime)
+        injector.drain(0, 0.9)
+        assert runtime.radio.node(0).alive
+        assert runtime.simulator.trace.count("fault.drain") == 0
+
+
+class TestLinkFaults:
+    def test_overlay_quiet_without_faults(self):
+        runtime = correlated_runtime()
+        injector = FaultInjector(runtime)
+        assert injector.overlay.quiet
+        assert runtime.radio.loss_model is injector.overlay
+
+    def test_injector_does_not_perturb_faultless_outcome(self):
+        """Arming an injector (no faults) must not change the election:
+        the overlay delegates draws to the base model verbatim."""
+        plain = correlated_runtime(loss=0.3)
+        plain.train(duration=6)
+        view_plain = plain.run_election()
+
+        armed = correlated_runtime(loss=0.3)
+        FaultInjector(armed)
+        armed.train(duration=6)
+        view_armed = armed.run_election()
+
+        assert view_plain.assignment == view_armed.assignment
+        assert plain.stats.total_sent() == armed.stats.total_sent()
+
+    def test_full_burst_blocks_delivery(self):
+        runtime = correlated_runtime()
+        injector = FaultInjector(runtime)
+        injector.begin_burst(1.0)
+        from repro.network.messages import Invitation
+
+        runtime.radio.broadcast(Invitation(sender=0, value=0.0, epoch=0))
+        runtime.advance_to(runtime.now + 1.0)
+        assert runtime.stats.delivered.total() == 0
+        injector.end_burst(1.0)
+        assert injector.overlay.quiet
+        runtime.radio.broadcast(Invitation(sender=0, value=0.0, epoch=0))
+        runtime.advance_to(runtime.now + 1.0)
+        assert runtime.stats.delivered.total() > 0
+
+    def test_burst_composes_with_base_loss(self):
+        injector = FaultInjector(correlated_runtime(loss=0.5))
+        injector.begin_burst(0.5)
+        assert injector.overlay.loss_probability(0, 1) == pytest.approx(0.75)
+
+    def test_partition_severs_only_cross_links(self):
+        runtime = correlated_runtime()
+        injector = FaultInjector(runtime)
+        group = frozenset({0, 1, 2})
+        injector.begin_partition(group)
+        overlay = injector.overlay
+        assert overlay.loss_probability(0, 5) == 1.0
+        assert overlay.loss_probability(5, 0) == 1.0
+        assert overlay.loss_probability(0, 1) == 0.0
+        assert overlay.loss_probability(4, 5) == 0.0
+        injector.end_partition(group)
+        assert overlay.quiet
+
+
+class TestPlanScheduling:
+    def test_apply_schedules_relative_to_base(self):
+        runtime = correlated_runtime(battery=1000.0)
+        injector = FaultInjector(runtime)
+        plan = FaultPlan(
+            (
+                NodeCrash(time=1.0, node_id=0, down_for=2.0),
+                BatteryDrain(time=2.0, node_id=1, fraction=0.5),
+                LinkLossBurst(time=0.5, duration=1.0, loss=1.0),
+                NetworkPartition(time=0.5, duration=1.0, group=frozenset({0, 1})),
+            )
+        )
+        quiet_at = injector.apply(plan, at=runtime.now + 10.0)
+        assert quiet_at == pytest.approx(runtime.now + 13.0)
+        runtime.advance_to(runtime.now + 10.9)
+        assert runtime.radio.node(0).alive  # crash not due yet
+        assert not injector.overlay.quiet  # burst + partition active
+        runtime.advance_to(runtime.now + 0.2)
+        assert not runtime.radio.node(0).alive
+        runtime.advance_to(quiet_at + 0.1)
+        assert runtime.radio.node(0).alive  # revived
+        assert injector.overlay.quiet
+        assert runtime.radio.node(1).battery.charge == pytest.approx(500.0)
+
+    def test_apply_in_the_past_rejected(self):
+        runtime = correlated_runtime()
+        runtime.advance_to(5.0)
+        injector = FaultInjector(runtime)
+        with pytest.raises(ValueError):
+            injector.apply(FaultPlan(), at=1.0)

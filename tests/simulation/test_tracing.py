@@ -46,3 +46,90 @@ class TestTraceLog:
         assert log.count("k") == 0
         log.emit(1.0, "k")
         assert seen == [1, 1]
+
+
+class TestSubscriptionLifecycle:
+    def test_unsubscribe_removes_callback(self):
+        log = TraceLog()
+        seen = []
+        callback = lambda record: seen.append(record.time)
+        log.subscribe("k", callback)
+        log.emit(0.0, "k")
+        log.unsubscribe("k", callback)
+        log.emit(1.0, "k")
+        assert seen == [0.0]
+        assert log.n_subscribers("k") == 0
+
+    def test_unsubscribe_unknown_callback_is_noop(self):
+        log = TraceLog()
+        log.unsubscribe("k", lambda record: None)  # never subscribed
+        log.subscribe("k", lambda record: None)
+        log.unsubscribe("k", lambda record: None)  # different callback
+        assert log.n_subscribers("k") == 1
+
+    def test_subscribe_returns_cancelable_handle(self):
+        log = TraceLog()
+        seen = []
+        handle = log.subscribe("k", lambda record: seen.append(1))
+        assert handle.active
+        log.emit(0.0, "k")
+        handle.cancel()
+        assert not handle.active
+        handle.cancel()  # idempotent
+        log.emit(1.0, "k")
+        assert seen == [1]
+        assert log.n_subscribers("k") == 0
+
+    def test_duplicate_registration_unsubscribes_one_at_a_time(self):
+        log = TraceLog()
+        seen = []
+        callback = lambda record: seen.append(1)
+        log.subscribe("k", callback)
+        log.subscribe("k", callback)
+        log.emit(0.0, "k")
+        assert seen == [1, 1]
+        log.unsubscribe("k", callback)
+        assert log.n_subscribers("k") == 1
+        log.emit(1.0, "k")
+        assert seen == [1, 1, 1]
+
+
+class TestDispatchMutation:
+    """``emit`` iterates a snapshot: callbacks that mutate the
+    subscriber list mid-dispatch must not corrupt the in-flight one."""
+
+    def test_subscribing_during_dispatch_defers_to_next_emit(self):
+        log = TraceLog()
+        late = []
+
+        def register_late(record):
+            log.subscribe("k", lambda r: late.append(r.time))
+
+        log.subscribe("k", register_late)
+        log.emit(0.0, "k")
+        assert late == []  # not called for the in-flight record
+        log.unsubscribe("k", register_late)
+        log.emit(1.0, "k")
+        assert late == [1.0]
+
+    def test_unsubscribing_self_during_dispatch_keeps_others(self):
+        log = TraceLog()
+        seen = []
+        handle = log.subscribe("k", lambda record: handle.cancel())
+        log.subscribe("k", lambda record: seen.append(record.time))
+        log.emit(0.0, "k")
+        log.emit(1.0, "k")
+        assert seen == [0.0, 1.0]
+        assert log.n_subscribers("k") == 1
+
+    def test_unsubscribing_peer_during_dispatch_still_calls_it_once(self):
+        log = TraceLog()
+        seen = []
+        victim = log.subscribe("k", lambda record: seen.append("victim"))
+        log.subscribe("k", lambda record: victim.cancel())
+        # Dispatch order is registration order: the victim runs first
+        # for the in-flight record, then its peer cancels it.
+        log.emit(0.0, "k")
+        assert seen == ["victim"]
+        log.emit(1.0, "k")
+        assert seen == ["victim"]
