@@ -61,6 +61,14 @@ def report():
     return save
 
 
+def pytest_collection_modifyitems(items):
+    """Every benchmark carries the ``bench`` marker, so tier-1's
+    ``-m 'not bench'`` deselection covers this directory even when it is
+    collected alongside the tests."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 def run_once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)

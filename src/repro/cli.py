@@ -6,13 +6,17 @@ Gives the reproduction a front door without writing any code:
 * ``experiment <id>`` — regenerate one of the paper's tables/figures
   (``fig6`` .. ``fig15``, ``table3``) and print the paper-style report;
 * ``query "<sql>"`` — run one query against a freshly trained network
-  and show the plan, the participants and the answer.
+  and show the plan, the participants and the answer;
+* ``report`` — run a seeded maintenance workload with full
+  observability and print the :class:`~repro.obs.report.RunReport`
+  summary (optionally exporting JSONL/CSV and a wall-clock profile).
 
 Examples::
 
     python -m repro.cli demo --classes 4 --threshold 1.0
     python -m repro.cli experiment fig6 --repetitions 2
     python -m repro.cli query "SELECT AVG(value) FROM sensors USE SNAPSHOT"
+    python -m repro.cli report --nodes 100 --rounds 5 --jsonl run.jsonl
 """
 
 from __future__ import annotations
@@ -205,6 +209,37 @@ def _format_maintenance(runs, metric: str) -> str:
     )
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.harness import NetworkSetup, run_report_experiment
+
+    setup = NetworkSetup(
+        n_nodes=args.nodes,
+        threshold=args.threshold,
+        transmission_range=args.range,
+        heartbeat_period=args.period,
+        cache_policy=args.cache_policy,
+    )
+    run = run_report_experiment(
+        setup,
+        seed=args.seed,
+        rounds=args.rounds,
+        n_classes=args.classes,
+        profile=args.profile,
+    )
+    print(run.report.format_summary())
+    if args.profile:
+        print(run.runtime.simulator.profiler.format_table())
+    if args.jsonl:
+        with open(args.jsonl, "w", encoding="utf-8") as handle:
+            handle.write(run.report.to_jsonl())
+        print(f"wrote {args.jsonl}")
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(run.report.to_csv())
+        print(f"wrote {args.csv}")
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     runners = _experiment_runners(args.repetitions)
     if args.id not in runners:
@@ -262,6 +297,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--repetitions", type=int, default=2, help="averaging repetitions"
     )
     experiment.set_defaults(handler=cmd_experiment)
+
+    report = commands.add_parser(
+        "report", help="run an observed maintenance workload; print its RunReport"
+    )
+    _add_network_options(report)
+    report.add_argument(
+        "--rounds", type=int, default=5, help="maintenance rounds to run"
+    )
+    report.add_argument(
+        "--period", type=float, default=100.0, help="maintenance period (time units)"
+    )
+    report.add_argument(
+        "--cache-policy", default="model-aware",
+        choices=("model-aware", "round-robin"), help="per-node cache policy",
+    )
+    report.add_argument(
+        "--profile", action="store_true",
+        help="also profile wall-clock time per event kind",
+    )
+    report.add_argument("--jsonl", default=None, help="write the report as JSONL here")
+    report.add_argument("--csv", default=None, help="write the report rows as CSV here")
+    report.set_defaults(handler=cmd_report)
     return parser
 
 

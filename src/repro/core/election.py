@@ -45,6 +45,7 @@ class ElectionCoordinator:
         self.nodes = nodes
         self.config = config
         self.epoch = 0
+        self._rounds = simulator.metrics.counter("election.rounds")
 
     @property
     def settle_delay(self) -> float:
@@ -77,7 +78,14 @@ class ElectionCoordinator:
                 if node.alive:
                     getattr(node, method_name)()
 
+        # The span opens at the invitation phase and closes when modes
+        # have settled; the begin/end pair brackets the whole timeline
+        # of Table 2's phases in the trace.
+        handle: dict[str, object] = {}
+
         def begin() -> None:
+            self._rounds.inc()
+            handle["span"] = self.simulator.spans.begin("election", epoch=epoch)
             for node in self.nodes.values():
                 if node.alive:
                     node.reset_round(epoch)
@@ -85,6 +93,12 @@ class ElectionCoordinator:
             self.simulator.trace.emit(
                 self.simulator.now, "election.started", epoch=epoch
             )
+
+        def settle() -> None:
+            run_phase("end_refinement")
+            span = handle.pop("span", None)
+            if span is not None:
+                span.end()
 
         self.simulator.schedule_at(t0, begin, label="election:invite")
         self.simulator.schedule_at(
@@ -98,7 +112,7 @@ class ElectionCoordinator:
         )
         self.simulator.schedule_at(
             t0 + self.settle_delay,
-            lambda: run_phase("end_refinement"),
+            settle,
             label="election:end",
         )
         return epoch

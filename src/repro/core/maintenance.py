@@ -33,6 +33,10 @@ from repro.simulation.engine import PeriodicTask, Simulator
 
 __all__ = ["MaintenanceManager"]
 
+#: Buckets of the ``maintenance.msgs_per_node`` histogram, framing the
+#: 2–4.5 messages/node band Figure 15 reports per update.
+COST_BUCKETS = (0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 12.0)
+
 
 class MaintenanceManager:
     """Drives the periodic §5.1 maintenance over all protocol nodes."""
@@ -54,6 +58,11 @@ class MaintenanceManager:
         self._rng = simulator.random.stream("maintenance")
         self._round_costs: list[float] = []
         self._rounds = 0
+        self._rounds_counter = simulator.metrics.counter("maintenance.rounds")
+        self._cost_histogram = simulator.metrics.histogram(
+            "maintenance.msgs_per_node", COST_BUCKETS
+        )
+        self._round_span = None
 
     @property
     def running(self) -> bool:
@@ -104,6 +113,9 @@ class MaintenanceManager:
                 period, self._close_round, label="maintenance:round", first_delay=period
             )
         )
+        self._round_span = self.simulator.spans.begin(
+            "maintenance.round", index=self._rounds + 1
+        )
 
     def stop(self) -> None:
         """Disarm all maintenance tasks, closing the open accounting window.
@@ -123,6 +135,9 @@ class MaintenanceManager:
         self._tasks.clear()
         if self.stats.window_protocol_total():
             self._close_round()
+        if self._round_span is not None:
+            self._round_span.end()
+            self._round_span = None
 
     def _make_node_action(self, node_id: int):
         def act() -> None:
@@ -157,14 +172,25 @@ class MaintenanceManager:
         """Record this round's per-node protocol message cost (Fig. 15)."""
         n_alive = sum(1 for node in self.nodes.values() if node.alive)
         if n_alive > 0:
-            self._round_costs.append(
-                self.stats.window_protocol_per_node(n_alive)
-            )
+            cost = self.stats.window_protocol_per_node(n_alive)
+            self._round_costs.append(cost)
+            self._cost_histogram.observe(cost)
         self.stats.checkpoint()
         self._rounds += 1
+        self._rounds_counter.inc()
+        if self._round_span is not None:
+            self._round_span.end()
+            self._round_span = None
         self.simulator.trace.emit(
             self.simulator.now, "maintenance.round", index=self._rounds
         )
+        # Re-open for the next round while the periodic tasks are still
+        # armed; the stop() path clears the task list first, so no span
+        # is left dangling at shutdown.
+        if self._tasks:
+            self._round_span = self.simulator.spans.begin(
+                "maintenance.round", index=self._rounds + 1
+            )
 
     def round_message_costs(self) -> list[float]:
         """Protocol messages per node for each completed round."""

@@ -35,6 +35,7 @@ from typing import Callable, Optional
 from repro.core.config import ProtocolConfig
 from repro.core.status import NodeMode
 from repro.models.estimator import NeighborModelStore
+from repro.models.policy import Action
 from repro.network.messages import (
     Accept,
     AckRepresenting,
@@ -127,6 +128,12 @@ class ProtocolNode:
 
         # statistics
         self.reelections = 0
+        self._reelections_counter = self.simulator.metrics.counter(
+            "election.reelections", labels=("node",)
+        )
+        self._observe_counter = self.simulator.metrics.counter(
+            "cache.observe", labels=("node", "action")
+        )
 
         self.device = radio.node(node_id)
         self.device.attach(self._on_message)
@@ -478,6 +485,8 @@ class ProtocolNode:
                 Recall(sender=self.node_id, target=old_rep, epoch=self.epoch), old_rep
             )
         self.reelections += 1
+        self._reelections_counter.inc(self.node_id)
+        self.simulator.spans.instant("reelection", node=self.node_id, epoch=self.epoch)
         self.mode = NodeMode.UNDEFINED
         self.representative_id = None
         self._offers.clear()
@@ -871,6 +880,13 @@ class ProtocolNode:
     ) -> str:
         """Feed the cache and charge the §6.2 CPU cost for the update."""
         action = self.store.record(neighbor_id, own_value, neighbor_value)
+        self._observe_counter.inc((self.node_id, action))
+        if action != Action.REJECT:
+            # Admissions (append/shift/augment/newcomer) land on the
+            # span timeline; rejects are counted but not timestamped.
+            self.simulator.spans.instant(
+                "cache.admit", node=self.node_id, neighbor=neighbor_id, action=action
+            )
         self.radio.charge_cpu(self.node_id)
         return action
 

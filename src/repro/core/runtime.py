@@ -81,6 +81,7 @@ class SnapshotRuntime:
         battery_capacity: Optional[float] = None,
         cost_model: EnergyCostModel = PAPER_COST_MODEL,
         keep_trace_records: bool = False,
+        metrics_enabled: bool = True,
     ) -> None:
         if dataset.n_nodes < len(topology):
             raise ValueError(
@@ -90,7 +91,12 @@ class SnapshotRuntime:
         self.topology = topology
         self.dataset = dataset
         self.config = config if config is not None else ProtocolConfig()
-        self.simulator = Simulator(seed=seed, keep_trace_records=keep_trace_records)
+        self.seed = seed
+        self.simulator = Simulator(
+            seed=seed,
+            keep_trace_records=keep_trace_records,
+            metrics_enabled=metrics_enabled,
+        )
         self.radio = Radio(
             self.simulator,
             topology,
@@ -141,6 +147,11 @@ class SnapshotRuntime:
     def ledger(self):
         """Energy ledger (see :class:`~repro.energy.EnergyLedger`)."""
         return self.radio.ledger
+
+    @property
+    def metrics(self):
+        """The engine's :class:`~repro.obs.registry.MetricsRegistry`."""
+        return self.simulator.metrics
 
     def value_of(self, node_id: int) -> float:
         """Ground-truth measurement of ``node_id`` right now."""

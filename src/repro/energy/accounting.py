@@ -5,11 +5,17 @@ snapshot queries.  :class:`EnergyLedger` aggregates per-node draws by
 activity category (``transmit``, ``receive``, ``cpu``) so experiments
 can report not just *who died when*, but *where the energy went* —
 the background cost of snapshot maintenance vs the per-query drain.
+
+When constructed with a :class:`~repro.obs.registry.MetricsRegistry`,
+the ledger stores its cells in the registry's ``energy.draw`` counter
+(labels ``node``/``category``, essential since battery-capacity runs
+read draws back through radio accounting), so run reports export the
+exact numbers the ledger reads.
 """
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter
 
 __all__ = ["EnergyLedger"]
 
@@ -19,8 +25,13 @@ class EnergyLedger:
 
     CATEGORIES = ("transmit", "receive", "cpu")
 
-    def __init__(self) -> None:
-        self._per_node: defaultdict[int, Counter[str]] = defaultdict(Counter)
+    def __init__(self, registry=None) -> None:
+        if registry is None:
+            self._cells: Counter[tuple[int, str]] = Counter()
+        else:
+            self._cells = registry.counter(
+                "energy.draw", labels=("node", "category"), essential=True
+            ).cells
         self._totals: Counter[str] = Counter()
 
     def record(self, node_id: int, category: str, amount: float) -> None:
@@ -31,17 +42,22 @@ class EnergyLedger:
             )
         if amount < 0:
             raise ValueError(f"cannot record negative energy {amount}")
-        self._per_node[node_id][category] += amount
+        self._cells[(node_id, category)] += amount
         self._totals[category] += amount
 
     def node_total(self, node_id: int) -> float:
         """Total energy drawn by ``node_id`` across all categories."""
-        return sum(self._per_node[node_id].values())
+        return sum(
+            self._cells.get((node_id, category), 0.0)
+            for category in self.CATEGORIES
+        )
 
     def node_breakdown(self, node_id: int) -> dict[str, float]:
         """Energy drawn by ``node_id``, by category."""
-        counts = self._per_node[node_id]
-        return {category: counts.get(category, 0.0) for category in self.CATEGORIES}
+        return {
+            category: self._cells.get((node_id, category), 0.0)
+            for category in self.CATEGORIES
+        }
 
     def total(self, category: str | None = None) -> float:
         """Network-wide energy drawn, optionally for one category."""
@@ -55,13 +71,13 @@ class EnergyLedger:
 
     def top_consumers(self, k: int = 5) -> list[tuple[int, float]]:
         """The ``k`` nodes that drew the most energy, descending."""
-        ranked = sorted(
-            ((node, sum(counts.values())) for node, counts in self._per_node.items()),
-            key=lambda pair: (-pair[1], pair[0]),
-        )
+        per_node: Counter[int] = Counter()
+        for (node, _), amount in self._cells.items():
+            per_node[node] += amount
+        ranked = sorted(per_node.items(), key=lambda pair: (-pair[1], pair[0]))
         return ranked[:k]
 
     def clear(self) -> None:
         """Reset the ledger."""
-        self._per_node.clear()
+        self._cells.clear()
         self._totals.clear()

@@ -43,6 +43,8 @@ __all__ = [
     "derive_seeds",
     "parallel_map",
     "repeat",
+    "ReportRun",
+    "run_report_experiment",
     "FULL_RANGE",
 ]
 
@@ -109,11 +111,14 @@ def build_runtime(
     seed: int,
     topology: Optional[Topology] = None,
     config: Optional[ProtocolConfig] = None,
+    **runtime_kwargs,
 ) -> SnapshotRuntime:
     """Assemble a runtime for ``setup`` over ``dataset``.
 
     The topology is drawn from the run's own RNG unless supplied, so
-    every repetition sees a fresh placement, as in the paper.
+    every repetition sees a fresh placement, as in the paper.  Extra
+    keyword arguments (``keep_trace_records``, ``metrics_enabled``, ...)
+    pass through to :class:`SnapshotRuntime`.
     """
     rng = np.random.default_rng(seed)
     if topology is None:
@@ -128,6 +133,7 @@ def build_runtime(
         loss_model=GlobalLoss(setup.loss_probability),
         cache_factory=make_cache_factory(setup.cache_policy, setup.cache_bytes),
         battery_capacity=setup.battery_capacity,
+        **runtime_kwargs,
     )
 
 
@@ -294,3 +300,89 @@ def repeat(
     if repetitions <= 0:
         raise ValueError(f"repetitions must be positive, got {repetitions}")
     return parallel_map(fn, derive_seeds(base_seed, repetitions))
+
+
+# ----------------------------------------------------------------------
+# instrumented report runs
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ReportRun:
+    """A completed instrumented run: the report plus its live objects."""
+
+    report: "RunReport"
+    runtime: SnapshotRuntime
+    coverage: "CoverageSeries"
+
+
+def run_report_experiment(
+    setup: NetworkSetup = NetworkSetup(),
+    seed: int = 2005,
+    rounds: int = 5,
+    n_classes: int = 4,
+    query_interval: float = 10.0,
+    query_area: float = 0.25,
+    profile: bool = False,
+    metrics_enabled: bool = True,
+    keep_trace_records: bool = False,
+) -> ReportRun:
+    """One fully observed maintenance run, captured as a :class:`RunReport`.
+
+    The §6.1 skeleton (train, idle, elect) followed by ``rounds``
+    maintenance periods during which random snapshot queries fire every
+    ``query_interval`` time units and feed a
+    :class:`~repro.query.coverage.CoverageSeries`.  The resulting report
+    carries the Figure 15 messages/node and Figure 10 coverage
+    quantities exactly as the runtime's own accounting computes them —
+    this is what ``repro report`` and the differential tests consume.
+    """
+    from repro.obs.report import RunReport
+    from repro.query.ast import Query
+    from repro.query.coverage import CoverageSeries
+    from repro.query.executor import QueryExecutor
+    from repro.query.spatial import random_square
+
+    if rounds <= 0:
+        raise ValueError(f"rounds must be positive, got {rounds}")
+    period = setup.heartbeat_period
+    length = int(setup.election_time + (rounds + 2) * period)
+    dataset = random_walk_dataset(setup, n_classes, seed, length=length)
+    runtime = build_runtime(
+        setup,
+        dataset,
+        seed,
+        keep_trace_records=keep_trace_records,
+        metrics_enabled=metrics_enabled,
+    )
+    if profile:
+        runtime.simulator.enable_profiling()
+    runtime.train(duration=setup.train_duration)
+    if setup.election_time > runtime.now:
+        runtime.advance_to(setup.election_time)
+    runtime.run_election()
+    runtime.start_maintenance()
+
+    executor = QueryExecutor(runtime)
+    coverage = CoverageSeries()
+    query_rng = np.random.default_rng(seed ^ 0x514)
+    end = runtime.now + rounds * period
+    clock = runtime.now
+    while clock < end:
+        clock = min(clock + query_interval, end)
+        runtime.advance_to(clock)
+        region = random_square(query_area, query_rng)
+        try:
+            result = executor.execute(Query(region=region, use_snapshot=True))
+        except RuntimeError:
+            # every node dead — close out what we have
+            break
+        coverage.record(result)
+    runtime.maintenance.stop()
+
+    report = RunReport.capture(
+        runtime,
+        coverage=coverage,
+        meta={"rounds_requested": rounds, "query_interval": query_interval},
+    )
+    return ReportRun(report=report, runtime=runtime, coverage=coverage)

@@ -74,6 +74,8 @@ class ChaosConfig:
     message_bound: int = 6
     fault_window_periods: float = 3.0
     recovery_periods: float = 4.0
+    #: Keep full trace records (span timelines) for post-run assertions.
+    keep_trace_records: bool = False
 
     def __post_init__(self) -> None:
         if self.n_nodes < 4:
@@ -100,11 +102,22 @@ class ChaosResult:
     reelections: int = 0
     final_coverage: float = 0.0
     alive_fraction: float = 1.0
+    #: The finished runtime, for observability assertions (span balance,
+    #: report round-trips) on top of the structural checks.
+    runtime: Optional[SnapshotRuntime] = field(default=None, repr=False)
 
     @property
     def ok(self) -> bool:
         """Whether the schedule completed with zero invariant violations."""
         return not self.violations
+
+    def report(self, meta: Optional[dict] = None):
+        """The schedule's :class:`~repro.obs.report.RunReport`."""
+        from repro.obs.report import RunReport
+
+        if self.runtime is None:
+            raise RuntimeError("schedule did not complete; no runtime captured")
+        return RunReport.capture(self.runtime, meta=meta)
 
 
 def build_chaos_runtime(config: ChaosConfig) -> SnapshotRuntime:
@@ -137,6 +150,7 @@ def build_chaos_runtime(config: ChaosConfig) -> SnapshotRuntime:
         seed=config.seed,
         cache_factory=make_cache_factory(config.cache_policy, 2048),
         battery_capacity=config.battery_capacity,
+        keep_trace_records=config.keep_trace_records,
     )
 
 
@@ -259,4 +273,5 @@ def run_chaos_schedule(config: ChaosConfig) -> ChaosResult:
             len(covered & alive_ids) / len(alive_ids) if alive_ids else 0.0
         ),
         alive_fraction=len(alive) / config.n_nodes,
+        runtime=runtime,
     )

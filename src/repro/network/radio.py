@@ -36,6 +36,10 @@ __all__ = ["Radio"]
 #: traffic that "already happened".
 DELIVERY_PRIORITY = -1
 
+#: Buckets of the ``net.fanout`` histogram: alive receivers reached per
+#: transmission (unit-disk neighborhoods rarely exceed a few dozen).
+FANOUT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
 
 class Radio:
     """Broadcast medium connecting :class:`NetworkNode` devices.
@@ -87,8 +91,13 @@ class Radio:
         self.topology = topology
         self.loss_model = loss_model
         self.cost_model = cost_model
-        self.stats = stats if stats is not None else MessageStats()
-        self.ledger = ledger if ledger is not None else EnergyLedger()
+        # Default accounting lives in the engine's metrics registry so
+        # run reports export the exact counters the protocol reads;
+        # explicitly passed stats/ledgers stay standalone.
+        registry = simulator.metrics
+        self.stats = stats if stats is not None else MessageStats(registry)
+        self.ledger = ledger if ledger is not None else EnergyLedger(registry)
+        self._fanout = registry.histogram("net.fanout", FANOUT_BUCKETS)
         self.latency = latency
         self.batch_fanout = batch_fanout
         self._nodes: dict[int, NetworkNode] = {}
@@ -178,11 +187,13 @@ class Radio:
     def _transmit_scalar(self, message: Message, target: Optional[int]) -> None:
         """Legacy fan-out: one RNG draw and one delivery event per receiver."""
         dead = 0
+        alive = 0
         for receiver_id in self.topology.out_neighbors(message.sender):
             receiver = self._nodes.get(receiver_id)
             if receiver is None or not receiver.alive:
                 dead += 1
                 continue
+            alive += 1
             if not self.loss_model.delivered(message.sender, receiver_id, self._rng):
                 self.stats.record_dropped(message)
                 continue
@@ -190,6 +201,7 @@ class Radio:
             self._schedule_delivery(receiver, message, overheard)
         if dead:
             self.stats.record_dropped_dead(message, dead)
+        self._fanout.observe(alive)
 
     def _transmit_batched(self, message: Message, target: Optional[int]) -> None:
         """Batched fan-out: one blocked loss draw and one delivery event.
@@ -211,6 +223,7 @@ class Radio:
             alive_nodes.append(receiver)
         if dead:
             self.stats.record_dropped_dead(message, dead)
+        self._fanout.observe(len(alive_ids))
         if not alive_ids:
             return
         outcomes = self.loss_model.loss_vector(message.sender, alive_ids, self._rng)

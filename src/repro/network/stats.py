@@ -10,6 +10,14 @@ tests assert on — fall out directly.
 Counters can be *checkpointed*: ``window()`` returns the counts since
 the previous checkpoint, which is how per-update message costs are
 measured in long maintenance runs.
+
+When constructed with a :class:`~repro.obs.registry.MetricsRegistry`,
+the stats object becomes a *view* over registry counters: its public
+``Counter`` attributes ARE the cells of ``net.messages.*`` metrics, so
+the registry exports the exact storage this class reads.  The metrics
+are *essential* — the maintenance manager reads the windowed counts
+back to drive Figure 15 accounting, so disabling observability must not
+stop them.
 """
 
 from __future__ import annotations
@@ -19,19 +27,37 @@ from typing import Optional
 
 from repro.network.messages import PROTOCOL_MESSAGE_TYPES, Message
 
-__all__ = ["MessageStats"]
+__all__ = ["MessageStats", "PROTOCOL_KINDS"]
 
-_PROTOCOL_KINDS = frozenset(cls.__name__ for cls in PROTOCOL_MESSAGE_TYPES)
+#: Class names of the election/maintenance protocol messages (the kinds
+#: Figure 15 and Table 2 count); data reports and query traffic excluded.
+PROTOCOL_KINDS = frozenset(cls.__name__ for cls in PROTOCOL_MESSAGE_TYPES)
+
+_PROTOCOL_KINDS = PROTOCOL_KINDS
 
 
 class MessageStats:
     """Per-node, per-kind counters of sent and delivered messages."""
 
-    def __init__(self) -> None:
-        self.sent: Counter[tuple[int, str]] = Counter()
-        self.delivered: Counter[tuple[int, str]] = Counter()
-        self.dropped: Counter[str] = Counter()
-        self.dropped_dead: Counter[str] = Counter()
+    def __init__(self, registry=None) -> None:
+        if registry is None:
+            self.sent: Counter[tuple[int, str]] = Counter()
+            self.delivered: Counter[tuple[int, str]] = Counter()
+            self.dropped: Counter[str] = Counter()
+            self.dropped_dead: Counter[str] = Counter()
+        else:
+            self.sent = registry.counter(
+                "net.messages.sent", labels=("node", "kind"), essential=True
+            ).cells
+            self.delivered = registry.counter(
+                "net.messages.delivered", labels=("node", "kind"), essential=True
+            ).cells
+            self.dropped = registry.counter(
+                "net.messages.dropped", labels=("kind",), essential=True
+            ).cells
+            self.dropped_dead = registry.counter(
+                "net.messages.dropped_dead", labels=("kind",), essential=True
+            ).cells
         self._sent_checkpoint: Counter[tuple[int, str]] = Counter()
 
     def record_sent(self, message: Message) -> None:

@@ -35,6 +35,12 @@ from repro.query.ast import Aggregate, Query
 
 __all__ = ["QueryExecutor", "QueryResult"]
 
+#: Buckets of the ``query.coverage`` histogram (coverage is in [0, 1]).
+COVERAGE_BUCKETS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+#: Buckets of the ``query.participants`` histogram (Table 3 counts).
+PARTICIPANT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
 
 @dataclass(frozen=True)
 class QueryResult:
@@ -118,6 +124,13 @@ class QueryExecutor:
         self.prefer_representative_routing = prefer_representative_routing
         self._rng = runtime.simulator.random.stream("query")
         self._query_counter = 0
+        metrics = runtime.simulator.metrics
+        self._executed = metrics.counter("query.executed", labels=("snapshot",))
+        self._estimates = metrics.counter("cache.estimate", labels=("outcome",))
+        self._coverage_hist = metrics.histogram("query.coverage", COVERAGE_BUCKETS)
+        self._participants_hist = metrics.histogram(
+            "query.participants", PARTICIPANT_BUCKETS
+        )
 
     # ------------------------------------------------------------------
 
@@ -167,59 +180,68 @@ class QueryExecutor:
         if n_rounds < 1:
             raise ValueError(f"rounds must be >= 1, got {n_rounds}")
 
-        matching_all = frozenset(self._matching_nodes(query, runtime.topology.node_ids))
-        matching_alive = frozenset(node for node in matching_all if node in alive)
-
-        prefer: frozenset[int] = frozenset()
-        if query.use_snapshot and self.prefer_representative_routing:
-            prefer = frozenset(
-                node_id
-                for node_id, node in runtime.nodes.items()
-                if node.mode is not NodeMode.PASSIVE and node.alive
+        with runtime.simulator.spans.span(
+            "query", query_id=query_id, snapshot=query.use_snapshot
+        ):
+            matching_all = frozenset(
+                self._matching_nodes(query, runtime.topology.node_ids)
             )
-        tree = AggregationTree.build(
-            runtime.topology,
-            sink,
-            alive,
-            self._rng,
-            loss_model=runtime.radio.loss_model,
-            prefer=prefer,
-        )
+            matching_alive = frozenset(node for node in matching_all if node in alive)
 
-        if query.use_snapshot:
-            bundles = self._snapshot_bundles(query, tree)
-        else:
-            bundles = self._regular_bundles(query, matching_alive, tree)
-        responders = set(bundles)
-        reports: dict[int, tuple[float, bool]] = {}
-        for responder in sorted(bundles):
-            reports.update(bundles[responder])
-        routers = tree.routers_for(responders)
-
-        if messaged:
-            reports, aggregate_value = self._collect_messaged(
-                query, query_id, bundles, tree, n_rounds
-            )
-        else:
-            if charge_energy:
-                self._transmit(
-                    query, query_id, sink, responders, routers, reports, tree, n_rounds
+            prefer: frozenset[int] = frozenset()
+            if query.use_snapshot and self.prefer_representative_routing:
+                prefer = frozenset(
+                    node_id
+                    for node_id, node in runtime.nodes.items()
+                    if node.mode is not NodeMode.PASSIVE and node.alive
                 )
-            aggregate_value = None
-            if query.is_aggregate:
-                aggregate_value = self._aggregate(query.aggregate, reports)
+            tree = AggregationTree.build(
+                runtime.topology,
+                sink,
+                alive,
+                self._rng,
+                loss_model=runtime.radio.loss_model,
+                prefer=prefer,
+            )
 
-        result = QueryResult(
-            query=query,
-            sink=sink,
-            responders=frozenset(responders),
-            routers=routers,
-            reports=reports,
-            matching_all=matching_all,
-            matching_alive=matching_alive,
-            aggregate_value=aggregate_value,
-            rounds=n_rounds,
-        )
+            if query.use_snapshot:
+                bundles = self._snapshot_bundles(query, tree)
+            else:
+                bundles = self._regular_bundles(query, matching_alive, tree)
+            responders = set(bundles)
+            reports: dict[int, tuple[float, bool]] = {}
+            for responder in sorted(bundles):
+                reports.update(bundles[responder])
+            routers = tree.routers_for(responders)
+
+            if messaged:
+                reports, aggregate_value = self._collect_messaged(
+                    query, query_id, bundles, tree, n_rounds
+                )
+            else:
+                if charge_energy:
+                    self._transmit(
+                        query, query_id, sink, responders, routers, reports,
+                        tree, n_rounds,
+                    )
+                aggregate_value = None
+                if query.is_aggregate:
+                    aggregate_value = self._aggregate(query.aggregate, reports)
+
+            result = QueryResult(
+                query=query,
+                sink=sink,
+                responders=frozenset(responders),
+                routers=routers,
+                reports=reports,
+                matching_all=matching_all,
+                matching_alive=matching_alive,
+                aggregate_value=aggregate_value,
+                rounds=n_rounds,
+            )
+        self._executed.inc(query.use_snapshot)
+        self._coverage_hist.observe(result.coverage())
+        self._participants_hist.observe(result.n_participants)
         runtime.simulator.trace.emit(
             runtime.simulator.now, "query.executed",
             query_id=query_id, snapshot=query.use_snapshot,
@@ -290,7 +312,9 @@ class QueryExecutor:
                         continue
                     estimate = node.estimate_for(member_id)
                     if estimate is None:
+                        self._estimates.inc("miss")
                         continue
+                    self._estimates.inc("hit")
                     if (
                         query.value_predicate is not None
                         and not query.value_predicate.matches(estimate)

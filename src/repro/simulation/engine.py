@@ -17,8 +17,12 @@ deterministic tie-breaking and bounded execution.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Optional
 
+from repro.obs.profiler import EventProfiler
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanTracer
 from repro.simulation.clock import SimulationClock
 from repro.simulation.events import Event, EventQueue
 from repro.simulation.rng import RandomSource
@@ -106,14 +110,33 @@ class Simulator:
         Root seed for all random streams handed out by :attr:`random`.
     keep_trace_records:
         Whether the trace log stores full records or only counters.
+    metrics_enabled:
+        Gates the non-essential record paths of :attr:`metrics` and the
+        span tracer (essential accounting the protocol reads back, like
+        message windows, always records).
     """
 
-    def __init__(self, seed: int = 0, keep_trace_records: bool = True) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        keep_trace_records: bool = True,
+        metrics_enabled: bool = True,
+    ) -> None:
         self.clock = SimulationClock()
         self.queue = EventQueue()
         self.random = RandomSource(seed)
         self.trace = TraceLog(keep_records=keep_trace_records)
+        self.metrics = MetricsRegistry(enabled=metrics_enabled)
+        self.spans = SpanTracer(self.trace, self.clock, self.metrics)
+        #: Wall-clock profiler; ``None`` keeps the hot loop untouched.
+        self.profiler: Optional[EventProfiler] = None
         self._events_processed = 0
+
+    def enable_profiling(self) -> EventProfiler:
+        """Attach (or return) the wall-clock event profiler."""
+        if self.profiler is None:
+            self.profiler = EventProfiler()
+        return self.profiler
 
     @property
     def now(self) -> float:
@@ -172,7 +195,13 @@ class Simulator:
             return False
         event = self.queue.pop()
         self.clock.advance_to(event.time)
-        event.fire()
+        profiler = self.profiler
+        if profiler is None:
+            event.fire()
+        else:
+            started = perf_counter()
+            event.fire()
+            profiler.record(event.label, perf_counter() - started)
         self._events_processed += 1
         return True
 

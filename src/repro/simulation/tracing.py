@@ -6,13 +6,21 @@ when nodes died — without the protocol code knowing anything about
 reporting.  :class:`TraceLog` is a pub/sub sink: components ``emit``
 named records, observers subscribe by name, and counters accumulate for
 free.
+
+Subscriptions have *identity* semantics: each :meth:`TraceLog.subscribe`
+call creates an independent registration with its own delivery counter,
+and cancelling one never detaches another registration that happens to
+wrap an equal callback.  Harness code that re-subscribes the same
+observer across repetitions therefore gets independent counts per
+repetition — use :meth:`TraceLog.mark` / :meth:`TraceLog.counts_since`
+to window the global per-kind counters the same way.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Mapping
 
 __all__ = ["TraceRecord", "TraceLog", "TraceSubscription"]
 
@@ -41,7 +49,10 @@ class TraceSubscription:
 
     Cancelling is idempotent, so observers that may be torn down from
     several paths (a checker's ``close`` plus a test's teardown) can
-    cancel unconditionally.
+    cancel unconditionally.  ``deliveries`` counts the records this
+    registration — and only this registration — has received, so a
+    subscriber re-attached for a second harness repetition starts from
+    zero instead of inheriting the previous run's count.
     """
 
     def __init__(
@@ -50,6 +61,7 @@ class TraceSubscription:
         self._log = log
         self.kind = kind
         self.callback = callback
+        self.deliveries = 0
         self._active = True
 
     @property
@@ -57,11 +69,15 @@ class TraceSubscription:
         """Whether the subscription still receives records."""
         return self._active
 
+    def _deliver(self, record: TraceRecord) -> None:
+        self.deliveries += 1
+        self.callback(record)
+
     def cancel(self) -> None:
         """Stop receiving records; safe to call more than once."""
         if self._active:
             self._active = False
-            self._log.unsubscribe(self.kind, self.callback)
+            self._log._remove(self)
 
 
 class TraceLog:
@@ -76,11 +92,15 @@ class TraceLog:
         self.keep_records = keep_records
         self.records: list[TraceRecord] = []
         self.counts: Counter[str] = Counter()
-        # Subscribers are stored as immutable tuples so ``emit`` can
-        # iterate a stable snapshot: a callback that subscribes or
-        # unsubscribes during dispatch replaces the tuple and only
-        # affects later emissions, never the in-flight one.
-        self._subscribers: dict[str, tuple[Callable[[TraceRecord], None], ...]] = {}
+        # Subscribers are stored as immutable tuples of subscription
+        # objects so ``emit`` can iterate a stable snapshot: a callback
+        # that subscribes or unsubscribes during dispatch replaces the
+        # tuple and only affects later emissions, never the in-flight
+        # one.  Removal is by subscription *identity* — two
+        # registrations of an equal callback are distinct, so cancelling
+        # one cannot silently detach (or double-count against) the
+        # other.
+        self._subscribers: dict[str, tuple[TraceSubscription, ...]] = {}
 
     def emit(self, time: float, kind: str, **payload: Any) -> None:
         """Record an occurrence of ``kind`` at ``time``."""
@@ -88,8 +108,8 @@ class TraceLog:
         self.counts[kind] += 1
         if self.keep_records:
             self.records.append(record)
-        for callback in self._subscribers.get(kind, ()):
-            callback(record)
+        for subscription in self._subscribers.get(kind, ()):
+            subscription._deliver(record)
 
     def subscribe(
         self, kind: str, callback: Callable[[TraceRecord], None]
@@ -101,20 +121,31 @@ class TraceLog:
         harness runs must cancel their observers or the closures (and
         everything they capture) accumulate forever.
         """
-        self._subscribers[kind] = self._subscribers.get(kind, ()) + (callback,)
-        return TraceSubscription(self, kind, callback)
+        subscription = TraceSubscription(self, kind, callback)
+        self._subscribers[kind] = self._subscribers.get(kind, ()) + (subscription,)
+        return subscription
 
     def unsubscribe(self, kind: str, callback: Callable[[TraceRecord], None]) -> None:
-        """Remove one registration of ``callback`` for ``kind`` (no-op if absent)."""
-        current = self._subscribers.get(kind)
-        if not current or callback not in current:
+        """Cancel one registration of ``callback`` for ``kind`` (no-op if absent).
+
+        Prefer :meth:`TraceSubscription.cancel`, which is unambiguous
+        when the same callback was registered more than once; this
+        legacy entry point cancels the oldest matching registration.
+        """
+        for subscription in self._subscribers.get(kind, ()):
+            if subscription.callback == callback:
+                subscription.cancel()
+                return
+
+    def _remove(self, subscription: TraceSubscription) -> None:
+        current = self._subscribers.get(subscription.kind)
+        if not current:
             return
-        remaining = list(current)
-        remaining.remove(callback)
+        remaining = tuple(s for s in current if s is not subscription)
         if remaining:
-            self._subscribers[kind] = tuple(remaining)
+            self._subscribers[subscription.kind] = remaining
         else:
-            del self._subscribers[kind]
+            del self._subscribers[subscription.kind]
 
     def n_subscribers(self, kind: str) -> int:
         """Number of callbacks currently subscribed to ``kind``."""
@@ -123,6 +154,23 @@ class TraceLog:
     def count(self, kind: str) -> int:
         """Number of records of ``kind`` emitted so far."""
         return self.counts[kind]
+
+    def mark(self) -> dict[str, int]:
+        """Snapshot the per-kind counters, for :meth:`counts_since`."""
+        return dict(self.counts)
+
+    def counts_since(self, marker: Mapping[str, int]) -> Counter[str]:
+        """Per-kind counts accumulated since ``marker`` was taken.
+
+        Gives repeated harness runs sharing one log independent windows
+        without clearing history another observer may still need.
+        """
+        window: Counter[str] = Counter()
+        for kind, count in self.counts.items():
+            delta = count - marker.get(kind, 0)
+            if delta:
+                window[kind] = delta
+        return window
 
     def of_kind(self, kind: str) -> list[TraceRecord]:
         """All stored records of ``kind`` (empty if ``keep_records=False``)."""

@@ -101,3 +101,53 @@ class TestRepeatParallelEquivalence:
         assert parallel.xs == serial.xs
         for serial_point, parallel_point in zip(serial.points, parallel.points):
             assert parallel_point.samples == serial_point.samples
+
+
+# ----------------------------------------------------------------------
+# no bleed-through across repetitions
+# ----------------------------------------------------------------------
+
+
+def _noop(record):
+    """Module-level (picklable) trace callback."""
+
+
+def _delivered_protocol_messages(seed: int) -> float:
+    """One discovery run, counted through a fresh trace subscription.
+
+    Module-level so ``REPRO_JOBS`` can pickle it.  Regression target:
+    per-subscription delivery counters used to survive re-subscription
+    of an equal callback, so a second repetition reported the first
+    repetition's traffic on top of its own.
+    """
+    from repro.experiments.harness import build_runtime, random_walk_dataset
+
+    dataset = random_walk_dataset(_SMALL, 2, seed)
+    runtime = build_runtime(_SMALL, dataset, seed)
+    subscription = runtime.simulator.trace.subscribe("message.sent", _noop)
+    runtime.train(duration=_SMALL.train_duration)
+    runtime.run_election()
+    count = float(subscription.deliveries)
+    subscription.cancel()
+    assert count == runtime.stats.total_sent()
+    return count
+
+
+class TestRepeatNoBleedThrough:
+    def test_two_sequential_repeats_report_independent_counts(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        first = repeat(_delivered_protocol_messages, repetitions=3, base_seed=6002)
+        second = repeat(_delivered_protocol_messages, repetitions=3, base_seed=6002)
+        assert all(count > 0 for count in first)
+        # Same seeds, fresh subscriptions: identical counts, no carryover.
+        assert second == first
+
+    def test_parallel_repeats_match_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        serial = repeat(_delivered_protocol_messages, repetitions=4, base_seed=6002)
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        parallel = repeat(_delivered_protocol_messages, repetitions=4, base_seed=6002)
+        assert parallel == serial
+        assert repeat(
+            _delivered_protocol_messages, repetitions=4, base_seed=6002
+        ) == serial

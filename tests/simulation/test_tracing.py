@@ -133,3 +133,57 @@ class TestDispatchMutation:
         assert seen == ["victim"]
         log.emit(1.0, "k")
         assert seen == ["victim"]
+
+
+class TestResubscriptionCounters:
+    """Regression: harness repetitions re-subscribe equal callbacks to
+    fresh windows.  Delivery counters must belong to the subscription,
+    and removal must go by identity, never by callback equality —
+    otherwise a second run's counts bleed into (or cancel) the first's.
+    """
+
+    def test_sequential_subscriptions_count_independently(self):
+        log = TraceLog()
+        callback = lambda record: None
+        first = log.subscribe("k", callback)
+        log.emit(0.0, "k")
+        log.emit(1.0, "k")
+        first.cancel()
+        second = log.subscribe("k", callback)  # the very same callback
+        log.emit(2.0, "k")
+        assert first.deliveries == 2
+        assert second.deliveries == 1
+
+    def test_cancel_removes_by_identity_not_equality(self):
+        log = TraceLog()
+        callback = lambda record: None
+        survivor = log.subscribe("k", callback)
+        log.subscribe("k", callback).cancel()  # twin cancels itself only
+        log.emit(0.0, "k")
+        assert survivor.active
+        assert survivor.deliveries == 1
+        assert log.n_subscribers("k") == 1
+
+    def test_canceled_subscription_counter_is_frozen(self):
+        log = TraceLog()
+        handle = log.subscribe("k", lambda record: None)
+        log.emit(0.0, "k")
+        handle.cancel()
+        log.emit(1.0, "k")
+        assert handle.deliveries == 1
+
+    def test_mark_and_counts_since_window(self):
+        log = TraceLog()
+        log.emit(0.0, "a")
+        log.emit(1.0, "b")
+        marker = log.mark()
+        log.emit(2.0, "a")
+        log.emit(3.0, "c")
+        assert log.counts_since(marker) == {"a": 1, "c": 1}
+
+    def test_counts_since_never_goes_negative(self):
+        log = TraceLog()
+        log.emit(0.0, "a")
+        marker = log.mark()
+        log.clear()
+        assert log.counts_since(marker) == {}

@@ -9,6 +9,10 @@ import pytest
 import repro.core.runtime
 import repro.models.cache
 import repro.models.metrics
+import repro.obs.profiler
+import repro.obs.registry
+import repro.obs.report
+import repro.obs.spans
 import repro.query.parser
 import repro.query.spatial
 import repro.simulation.rng
@@ -16,6 +20,10 @@ import repro.simulation.rng
 MODULES = [
     repro.models.cache,
     repro.models.metrics,
+    repro.obs.profiler,
+    repro.obs.registry,
+    repro.obs.report,
+    repro.obs.spans,
     repro.query.parser,
     repro.query.spatial,
     repro.simulation.rng,
