@@ -240,6 +240,52 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_checkpoint(args: argparse.Namespace) -> int:
+    runtime = _build_network(
+        args.nodes, args.classes, args.threshold, args.range, args.seed
+    )
+    view = runtime.run_election()
+    runtime.start_maintenance()
+    period = runtime.config.heartbeat_period
+    runtime.advance_to(runtime.now + args.rounds * period)
+    digest = runtime.checkpoint(
+        args.path,
+        meta={"seed": args.seed, "nodes": args.nodes, "rounds_run": args.rounds},
+    )
+    print(f"froze t={runtime.now:g} after {args.rounds} maintenance round(s)")
+    print(f"snapshot: {view.size} representatives, "
+          f"{runtime.simulator.events_processed} events processed, "
+          f"{sum(runtime.stats.sent.values())} messages sent")
+    print(f"digest: {digest.whole}")
+    print(f"wrote {args.path}")
+    return 0
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    from repro.persist import CheckpointError, read_header
+
+    try:
+        header = read_header(args.path)
+        runtime = SnapshotRuntime.restore(args.path, verify=not args.no_verify)
+    except (OSError, CheckpointError, TypeError) as error:
+        print(f"cannot resume: {error}", file=sys.stderr)
+        return 2
+    meta = header.get("meta") or {}
+    print(f"resumed t={runtime.now:g} "
+          f"(format v{header['format']}, meta {meta if meta else '{}'})")
+    period = runtime.config.heartbeat_period
+    before = runtime.simulator.events_processed
+    runtime.advance_to(runtime.now + args.rounds * period)
+    view = runtime.snapshot()
+    print(f"ran {args.rounds} more round(s) to t={runtime.now:g}: "
+          f"{runtime.simulator.events_processed - before} events fired, "
+          f"{sum(runtime.stats.sent.values())} messages sent in total")
+    print(f"snapshot: {view.size} representatives "
+          f"({len(runtime.alive_ids())} nodes alive)")
+    print(f"digest: {runtime.state_digest().whole}")
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     runners = _experiment_runners(args.repetitions)
     if args.id not in runners:
@@ -319,6 +365,32 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--jsonl", default=None, help="write the report as JSONL here")
     report.add_argument("--csv", default=None, help="write the report rows as CSV here")
     report.set_defaults(handler=cmd_report)
+
+    checkpoint = commands.add_parser(
+        "checkpoint",
+        help="run a seeded maintenance workload and freeze it to a file",
+    )
+    checkpoint.add_argument("path", help="checkpoint file to write")
+    _add_network_options(checkpoint)
+    checkpoint.add_argument(
+        "--rounds", type=int, default=2,
+        help="maintenance rounds to run before freezing",
+    )
+    checkpoint.set_defaults(handler=cmd_checkpoint)
+
+    resume = commands.add_parser(
+        "resume", help="restore a frozen run and continue its maintenance"
+    )
+    resume.add_argument("path", help="checkpoint file written by 'repro checkpoint'")
+    resume.add_argument(
+        "--rounds", type=int, default=2,
+        help="additional maintenance rounds to run after restoring",
+    )
+    resume.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the restore-time digest integrity check",
+    )
+    resume.set_defaults(handler=cmd_resume)
     return parser
 
 

@@ -16,6 +16,7 @@ overwhelming probability (Rule-4 resolves geometrically); the runtime's
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Mapping, Optional
 
 from repro.core.config import ProtocolConfig
@@ -30,6 +31,44 @@ __all__ = ["ElectionCoordinator"]
 #: that somehow is still UNDEFINED at capture time is treated as ACTIVE
 #: (the protocol's own bias), so the tail is harmless.
 _RULE4_RETRIES_BUDGET = 120
+
+
+class _ElectionRound:
+    """One scheduled election round's phase callbacks.
+
+    A plain object (not closures) so the pending phase events — and any
+    checkpoint taken mid-election — pickle cleanly.  The open span
+    handle lives on the round, exactly as the former closure's ``handle``
+    dict did.
+    """
+
+    __slots__ = ("coordinator", "epoch", "_span")
+
+    def __init__(self, coordinator: "ElectionCoordinator", epoch: int) -> None:
+        self.coordinator = coordinator
+        self.epoch = epoch
+        self._span = None
+
+    def run_phase(self, method_name: str) -> None:
+        for node in self.coordinator.nodes.values():
+            if node.alive:
+                getattr(node, method_name)()
+
+    def begin(self) -> None:
+        simulator = self.coordinator.simulator
+        self.coordinator._rounds.inc()
+        self._span = simulator.spans.begin("election", epoch=self.epoch)
+        for node in self.coordinator.nodes.values():
+            if node.alive:
+                node.reset_round(self.epoch)
+        self.run_phase("phase_invite")
+        simulator.trace.emit(simulator.now, "election.started", epoch=self.epoch)
+
+    def settle(self) -> None:
+        self.run_phase("end_refinement")
+        span, self._span = self._span, None
+        if span is not None:
+            span.end()
 
 
 class ElectionCoordinator:
@@ -73,46 +112,30 @@ class ElectionCoordinator:
         epoch = self.epoch
         spacing = self.config.phase_spacing
 
-        def run_phase(method_name: str) -> None:
-            for node in self.nodes.values():
-                if node.alive:
-                    getattr(node, method_name)()
-
         # The span opens at the invitation phase and closes when modes
         # have settled; the begin/end pair brackets the whole timeline
         # of Table 2's phases in the trace.
-        handle: dict[str, object] = {}
+        round_ = _ElectionRound(self, epoch)
 
-        def begin() -> None:
-            self._rounds.inc()
-            handle["span"] = self.simulator.spans.begin("election", epoch=epoch)
-            for node in self.nodes.values():
-                if node.alive:
-                    node.reset_round(epoch)
-            run_phase("phase_invite")
-            self.simulator.trace.emit(
-                self.simulator.now, "election.started", epoch=epoch
-            )
-
-        def settle() -> None:
-            run_phase("end_refinement")
-            span = handle.pop("span", None)
-            if span is not None:
-                span.end()
-
-        self.simulator.schedule_at(t0, begin, label="election:invite")
+        self.simulator.schedule_at(t0, round_.begin, label="election:invite")
         self.simulator.schedule_at(
-            t0 + spacing, lambda: run_phase("phase_evaluate"), label="election:evaluate"
+            t0 + spacing,
+            partial(round_.run_phase, "phase_evaluate"),
+            label="election:evaluate",
         )
         self.simulator.schedule_at(
-            t0 + 2 * spacing, lambda: run_phase("phase_select"), label="election:select"
+            t0 + 2 * spacing,
+            partial(round_.run_phase, "phase_select"),
+            label="election:select",
         )
         self.simulator.schedule_at(
-            t0 + 3 * spacing, lambda: run_phase("phase_refine"), label="election:refine"
+            t0 + 3 * spacing,
+            partial(round_.run_phase, "phase_refine"),
+            label="election:refine",
         )
         self.simulator.schedule_at(
             t0 + self.settle_delay,
-            settle,
+            round_.settle,
             label="election:end",
         )
         return epoch

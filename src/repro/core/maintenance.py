@@ -23,6 +23,7 @@ protocol messages per node per maintenance round.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Mapping
 
 from repro.core.config import ProtocolConfig
@@ -100,7 +101,7 @@ class MaintenanceManager:
                 offset = window * index / n
             task = self.simulator.every(
                 period,
-                self._make_node_action(node_id),
+                partial(self._node_action, node_id),
                 label=f"maintenance:{node_id}",
                 first_delay=offset,
             )
@@ -139,34 +140,31 @@ class MaintenanceManager:
             self._round_span.end()
             self._round_span = None
 
-    def _make_node_action(self, node_id: int):
-        def act() -> None:
-            node = self.nodes[node_id]
-            if not node.alive:
-                return
-            node.check_energy()
-            if self.config.member_expiry_periods > 0:
-                node.expire_stale_members(
-                    self.config.member_expiry_periods * self.config.heartbeat_period
-                )
-            if (
-                node.mode is NodeMode.ACTIVE
-                and node.represented
-                and self.config.rotation_probability > 0
-                and self._rng.random() < self.config.rotation_probability
-            ):
-                node.resign()
-                return
-            if node.mode is NodeMode.PASSIVE:
-                node.send_heartbeat()
-            elif node.mode is NodeMode.ACTIVE and not node.represented:
-                # Randomized so concurrent lone actives take turns
-                # inviting vs responding; otherwise a round where every
-                # lone node awaits offers leaves no one to answer.
-                if self._rng.random() < self.config.lone_invite_probability:
-                    node.lone_active_invite()
-
-        return act
+    def _node_action(self, node_id: int) -> None:
+        node = self.nodes[node_id]
+        if not node.alive:
+            return
+        node.check_energy()
+        if self.config.member_expiry_periods > 0:
+            node.expire_stale_members(
+                self.config.member_expiry_periods * self.config.heartbeat_period
+            )
+        if (
+            node.mode is NodeMode.ACTIVE
+            and node.represented
+            and self.config.rotation_probability > 0
+            and self._rng.random() < self.config.rotation_probability
+        ):
+            node.resign()
+            return
+        if node.mode is NodeMode.PASSIVE:
+            node.send_heartbeat()
+        elif node.mode is NodeMode.ACTIVE and not node.represented:
+            # Randomized so concurrent lone actives take turns
+            # inviting vs responding; otherwise a round where every
+            # lone node awaits offers leaves no one to answer.
+            if self._rng.random() < self.config.lone_invite_probability:
+                node.lone_active_invite()
 
     def _close_round(self) -> None:
         """Record this round's per-node protocol message cost (Fig. 15)."""

@@ -860,20 +860,19 @@ class ProtocolNode:
         if self._ack_pending:
             return
         self._ack_pending = True
+        self.simulator.schedule(self.config.ack_delay, self._fire_ack, label="ack")
 
-        def fire() -> None:
-            self._ack_pending = False
-            if not self.alive:
-                return
-            self.radio.broadcast(
-                AckRepresenting(
-                    sender=self.node_id,
-                    represented=tuple(sorted(self.represented)),
-                    epoch=self.epoch,
-                )
+    def _fire_ack(self) -> None:
+        self._ack_pending = False
+        if not self.alive:
+            return
+        self.radio.broadcast(
+            AckRepresenting(
+                sender=self.node_id,
+                represented=tuple(sorted(self.represented)),
+                epoch=self.epoch,
             )
-
-        self.simulator.schedule(self.config.ack_delay, fire, label="ack")
+        )
 
     def _record_observation(
         self, neighbor_id: int, own_value: float, neighbor_value: float

@@ -20,6 +20,7 @@ True
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Optional
 
 from repro.core.config import ProtocolConfig
@@ -42,6 +43,32 @@ __all__ = ["SnapshotRuntime", "DEFAULT_CACHE_BYTES"]
 
 #: The cache budget used everywhere the paper does not sweep it (§6.1).
 DEFAULT_CACHE_BYTES = 2048
+
+
+def _default_cache_factory() -> CachePolicy:
+    """The model-aware manager at the paper's default budget.
+
+    Module-level (not a lambda) so runtimes built with the default
+    factory remain picklable for checkpoint/restore.
+    """
+    return ModelAwareCache(DEFAULT_CACHE_BYTES)
+
+
+class _NodeValueReader:
+    """A node's ``value_fn``: reads its ground-truth series at sim time.
+
+    A callable object rather than a closure so protocol nodes — and the
+    events that capture them — survive pickling.
+    """
+
+    __slots__ = ("runtime", "node_id")
+
+    def __init__(self, runtime: "SnapshotRuntime", node_id: int) -> None:
+        self.runtime = runtime
+        self.node_id = node_id
+
+    def __call__(self) -> float:
+        return self.runtime.dataset.value(self.node_id, self.runtime.simulator.now)
 
 
 class SnapshotRuntime:
@@ -105,7 +132,7 @@ class SnapshotRuntime:
         )
         self.radio.populate(battery_capacity=battery_capacity)
         if cache_factory is None:
-            cache_factory = lambda: ModelAwareCache(DEFAULT_CACHE_BYTES)
+            cache_factory = _default_cache_factory
 
         self.nodes: dict[int, ProtocolNode] = {}
         for node_id in topology.node_ids:
@@ -124,10 +151,7 @@ class SnapshotRuntime:
         )
 
     def _value_fn(self, node_id: int) -> Callable[[], float]:
-        def read() -> float:
-            return self.dataset.value(node_id, self.simulator.now)
-
-        return read
+        return _NodeValueReader(self, node_id)
 
     # ------------------------------------------------------------------
     # convenience accessors
@@ -184,36 +208,41 @@ class SnapshotRuntime:
         t0 = self.simulator.now if start is None else start
         saved = {node_id: node.snoop_probability for node_id, node in self.nodes.items()}
 
-        def set_snoop(probability: Optional[dict[int, float]]) -> Callable[[], None]:
-            def apply() -> None:
-                for node_id, node in self.nodes.items():
-                    node.snoop_probability = (
-                        1.0 if probability is None else probability[node_id]
-                    )
-
-            return apply
-
-        def broadcast_all() -> None:
-            for node_id in sorted(self.nodes):
-                node = self.nodes[node_id]
-                if node.alive:
-                    self.radio.broadcast(
-                        DataReport(
-                            sender=node_id,
-                            query_id=0,
-                            origin=node_id,
-                            value=node.value_fn(),
-                        )
-                    )
-
-        self.simulator.schedule_at(t0, set_snoop(None), label="train:snoop-on")
+        self.simulator.schedule_at(
+            t0, partial(self._set_snoop, None), label="train:snoop-on"
+        )
         tick = t0
         end = t0 + duration
         while tick < end:
-            self.simulator.schedule_at(tick, broadcast_all, label="train:broadcast")
+            self.simulator.schedule_at(
+                tick, self._train_broadcast, label="train:broadcast"
+            )
             tick += interval
-        self.simulator.schedule_at(end, set_snoop(saved), label="train:snoop-restore")
+        self.simulator.schedule_at(
+            end, partial(self._set_snoop, saved), label="train:snoop-restore"
+        )
         self.simulator.run_until(end)
+
+    def _set_snoop(self, probability: Optional[dict[int, float]]) -> None:
+        """Set every node's snoop probability (``None`` = 1.0, training)."""
+        for node_id, node in self.nodes.items():
+            node.snoop_probability = (
+                1.0 if probability is None else probability[node_id]
+            )
+
+    def _train_broadcast(self) -> None:
+        """One training tick: every alive node broadcasts a data report."""
+        for node_id in sorted(self.nodes):
+            node = self.nodes[node_id]
+            if node.alive:
+                self.radio.broadcast(
+                    DataReport(
+                        sender=node_id,
+                        query_id=0,
+                        origin=node_id,
+                        value=node.value_fn(),
+                    )
+                )
 
     def run_election(self, at: Optional[float] = None) -> SnapshotView:
         """Run one global election and return the settled snapshot."""
@@ -237,3 +266,40 @@ class SnapshotRuntime:
     def idle_until(self, time: float) -> None:
         """Alias of :meth:`advance_to` for readability in experiments."""
         self.advance_to(time)
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def state_digest(self):
+        """Canonical per-component + whole-sim digest of the current state."""
+        from repro.persist import state_digest
+
+        return state_digest(self)
+
+    def checkpoint(self, path, meta: Optional[dict] = None):
+        """Freeze the complete network state to ``path``.
+
+        Everything behavior-relevant is serialized — pending events,
+        RNG stream states, every node's election/maintenance state,
+        model caches, batteries, loss-overlay state, metrics — such
+        that :meth:`restore` resumes on the *identical* trajectory the
+        uninterrupted run would have taken (proven by the differential
+        suite in ``tests/persist/``).  Returns the saved digest.
+        """
+        from repro.persist import save_checkpoint
+
+        return save_checkpoint(self, path, meta=meta)
+
+    @classmethod
+    def restore(cls, path, verify: bool = True) -> "SnapshotRuntime":
+        """Load a runtime previously saved with :meth:`checkpoint`."""
+        from repro.persist import load_checkpoint
+
+        obj = load_checkpoint(path, verify=verify)
+        if not isinstance(obj, cls):
+            raise TypeError(
+                f"checkpoint at {path} holds a {type(obj).__name__}, "
+                f"expected a {cls.__name__}"
+            )
+        return obj

@@ -10,6 +10,7 @@ with fresh seeds.  :class:`NetworkSetup` captures the knobs,
 
 from __future__ import annotations
 
+import json
 import math
 import os
 import statistics
@@ -94,12 +95,25 @@ class NetworkSetup:
         return replace(self, **changes)
 
 
+class _CacheFactory:
+    """Picklable cache-policy factory (lambdas would break checkpointing)."""
+
+    __slots__ = ("policy_cls", "cache_bytes")
+
+    def __init__(self, policy_cls: type, cache_bytes: int) -> None:
+        self.policy_cls = policy_cls
+        self.cache_bytes = cache_bytes
+
+    def __call__(self) -> CachePolicy:
+        return self.policy_cls(self.cache_bytes)
+
+
 def make_cache_factory(policy: str, cache_bytes: int) -> Callable[[], CachePolicy]:
     """Cache-policy factory from a registry name."""
     if policy == "model-aware":
-        return lambda: ModelAwareCache(cache_bytes)
+        return _CacheFactory(ModelAwareCache, cache_bytes)
     if policy == "round-robin":
-        return lambda: RoundRobinCache(cache_bytes)
+        return _CacheFactory(RoundRobinCache, cache_bytes)
     raise ValueError(
         f"unknown cache policy {policy!r}; expected 'model-aware' or 'round-robin'"
     )
@@ -288,18 +302,105 @@ def parallel_map(fn: Callable[[_T], _R], items: Iterable[_T]) -> list[_R]:
         return list(executor.map(fn, work))
 
 
+#: On-disk format version of the ``repeat`` progress file.
+_PROGRESS_FORMAT = 1
+
+
+def _write_progress(path: str, payload: dict) -> None:
+    """Atomically replace ``path`` with ``payload`` as compact JSON."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def _load_progress(path: str, base_seed: int, repetitions: int) -> dict[int, float]:
+    """Completed samples from a prior interrupted ``repeat`` call.
+
+    The file must describe the *same* experiment — identical base seed
+    and repetition count — otherwise resuming would silently mix samples
+    from different seed sequences.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("format") != _PROGRESS_FORMAT:
+        raise ValueError(
+            f"progress file {path!r} has format {payload.get('format')!r}; "
+            f"this version reads format {_PROGRESS_FORMAT}"
+        )
+    if payload.get("base_seed") != base_seed or payload.get("repetitions") != repetitions:
+        raise ValueError(
+            f"progress file {path!r} belongs to repeat(base_seed="
+            f"{payload.get('base_seed')}, repetitions={payload.get('repetitions')}); "
+            f"refusing to resume repeat(base_seed={base_seed}, "
+            f"repetitions={repetitions}) from it"
+        )
+    return {int(index): value for index, value in payload.get("results", {}).items()}
+
+
 def repeat(
-    fn: Callable[[int], float], repetitions: int, base_seed: int
+    fn: Callable[[int], float],
+    repetitions: int,
+    base_seed: int,
+    *,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
 ) -> list[float]:
     """Run ``fn(seed)`` for ``repetitions`` derived seeds; collect results.
 
     Seeds come from :func:`derive_seeds` and the calls are fanned out
     over ``REPRO_JOBS`` worker processes (serial by default), so results
     are identical whatever the parallelism.
+
+    With ``checkpoint_path`` set, completed samples are flushed to a JSON
+    progress file every ``checkpoint_every`` repetitions (default: one
+    worker-pool round), and a rerun with the same ``(base_seed,
+    repetitions)`` resumes from the file, recomputing only the missing
+    repetitions.  Because the seed list depends only on ``(base_seed,
+    repetitions)``, the resumed sample list is element-for-element
+    identical to an uninterrupted run's.  The file is removed on
+    completion.
     """
     if repetitions <= 0:
         raise ValueError(f"repetitions must be positive, got {repetitions}")
-    return parallel_map(fn, derive_seeds(base_seed, repetitions))
+    seeds = derive_seeds(base_seed, repetitions)
+    if checkpoint_path is None:
+        return parallel_map(fn, seeds)
+
+    if checkpoint_every is None:
+        checkpoint_every = _job_count()
+    if checkpoint_every <= 0:
+        raise ValueError(
+            f"checkpoint_every must be positive, got {checkpoint_every}"
+        )
+    path = os.fspath(checkpoint_path)
+    results: dict[int, float] = {}
+    if os.path.exists(path):
+        results = _load_progress(path, base_seed, repetitions)
+    pending = [index for index in range(repetitions) if index not in results]
+    for start in range(0, len(pending), checkpoint_every):
+        chunk = pending[start : start + checkpoint_every]
+        for index, value in zip(chunk, parallel_map(fn, [seeds[i] for i in chunk])):
+            results[index] = value
+        _write_progress(
+            path,
+            {
+                "format": _PROGRESS_FORMAT,
+                "base_seed": base_seed,
+                "repetitions": repetitions,
+                "results": {str(index): results[index] for index in sorted(results)},
+            },
+        )
+    samples = [results[index] for index in range(repetitions)]
+    if os.path.exists(path):
+        os.unlink(path)
+    return samples
 
 
 # ----------------------------------------------------------------------

@@ -51,6 +51,7 @@ from repro.network.topology import Topology
 __all__ = [
     "ChaosConfig",
     "ChaosResult",
+    "ChaosRun",
     "build_chaos_runtime",
     "random_fault_plan",
     "run_chaos_schedule",
@@ -216,6 +217,128 @@ def random_fault_plan(
     return FaultPlan(tuple(events))
 
 
+class ChaosRun:
+    """A chaos schedule that can be frozen mid-fault-plan and resumed.
+
+    Executes the exact same operation sequence as the original
+    monolithic driver — build, train, elect, quiescence check, start
+    maintenance, arm the plan, ride it out, drain, final check — but
+    split at checkpointable seams.  The whole object (runtime, armed
+    injector with its loss overlay, invariant checker with its live
+    trace subscriptions, plan, progress markers) is one picklable graph,
+    so ``save_checkpoint(chaos_run, path)`` while faults are in flight
+    and ``load_checkpoint(path)`` resumes on the identical trajectory::
+
+        run = ChaosRun(config)
+        run.start()                      # train → elect → check → arm plan
+        run.advance_to(mid_plan_time)    # faults firing...
+        save_checkpoint(run, path)       # freeze mid-fault-plan
+        resumed = load_checkpoint(path)
+        result = resumed.finish()        # == the uninterrupted result
+    """
+
+    def __init__(self, config: ChaosConfig) -> None:
+        self.config = config
+        self.runtime = build_chaos_runtime(config)
+        self.injector = FaultInjector(self.runtime)
+        self.checker = InvariantChecker(
+            self.runtime,
+            message_bound=config.message_bound,
+            strict_claims=config.lossless,
+        )
+        plan_rng = np.random.default_rng(
+            np.random.SeedSequence([config.seed, 0xFA11])
+        )
+        self.plan = random_fault_plan(config, plan_rng)
+        #: Absolute time of the plan's last effect; set by :meth:`start`.
+        self.quiet_at: Optional[float] = None
+        self.finished = False
+
+    def start(self) -> float:
+        """Train, elect, check post-election quiescence, arm the plan.
+
+        Returns ``quiet_at`` — the earliest time every fault effect has
+        ended.  Any instant between now and the recovery window's end is
+        a valid freeze point.
+        """
+        runtime = self.runtime
+        runtime.train(duration=6.0)
+        runtime.run_election()
+        # Post-election quiescence: the structure must already be sound
+        # before any fault fires (also exercises the Table 2 bound
+        # check, which was scheduled during the election window).
+        self.checker.check()
+
+        runtime.start_maintenance()
+        self.quiet_at = self.injector.apply(
+            self.plan, at=runtime.now + self.config.heartbeat_period
+        )
+        return self.quiet_at
+
+    def advance_to(self, time: float) -> None:
+        """Drive the simulation to absolute ``time`` (faults fire as armed)."""
+        self.runtime.advance_to(time)
+
+    def finish(self) -> ChaosResult:
+        """Ride out the plan, drain, run the final check, build the result."""
+        if self.quiet_at is None:
+            raise RuntimeError("chaos run not started; call start() first")
+        if self.finished:
+            raise RuntimeError("chaos run already finished")
+        config = self.config
+        runtime = self.runtime
+        period = config.heartbeat_period
+        try:
+            # Ride the faults out, then give §5.1 maintenance its recovery
+            # window: heartbeat-timeout detection, lone-active re-invites
+            # and stale-claim expiry all need whole periods to act.
+            runtime.advance_to(self.quiet_at + config.recovery_periods * period)
+            runtime.maintenance.stop()
+            # Drain in-flight reply windows / resign cooldowns / timeouts.
+            runtime.advance_to(runtime.now + 1.5 * period)
+            self.checker.check()
+        finally:
+            self.checker.close()
+        self.finished = True
+
+        alive = [node for node in runtime.nodes.values() if node.alive]
+        covered: set[int] = set()
+        for node in alive:
+            covered |= node.covered_nodes()
+        alive_ids = {node.node_id for node in alive}
+        return ChaosResult(
+            config=config,
+            plan=self.plan,
+            violations=list(self.checker.violations),
+            checks_run=self.checker.checks_run,
+            bound_checks_run=self.checker.bound_checks_run,
+            crashes=self.injector.crashes_applied,
+            revivals=self.injector.revivals_applied,
+            reelections=sum(node.reelections for node in runtime.nodes.values()),
+            final_coverage=(
+                len(covered & alive_ids) / len(alive_ids) if alive_ids else 0.0
+            ),
+            alive_fraction=len(alive) / config.n_nodes,
+            runtime=runtime,
+        )
+
+    def digest_extra(self) -> dict:
+        """Chaos-level state folded into :func:`~repro.persist.state_digest`."""
+        return {
+            "chaos": (
+                self.config,
+                self.plan,
+                self.quiet_at,
+                self.finished,
+                self.injector.crashes_applied,
+                self.injector.revivals_applied,
+                self.checker.checks_run,
+                self.checker.bound_checks_run,
+                tuple(str(v) for v in self.checker.violations),
+            )
+        }
+
+
 def run_chaos_schedule(config: ChaosConfig) -> ChaosResult:
     """Run one full train → elect → faults → quiesce → check schedule.
 
@@ -223,55 +346,11 @@ def run_chaos_schedule(config: ChaosConfig) -> ChaosResult:
     first violated invariant (the checker's default); the returned
     result carries counters for aggregation when none is violated.
     """
-    runtime = build_chaos_runtime(config)
-    injector = FaultInjector(runtime)
-    checker = InvariantChecker(
-        runtime,
-        message_bound=config.message_bound,
-        strict_claims=config.lossless,
-    )
-    plan_rng = np.random.default_rng(np.random.SeedSequence([config.seed, 0xFA11]))
-    plan = random_fault_plan(config, plan_rng)
-    period = config.heartbeat_period
-
+    run = ChaosRun(config)
     try:
-        runtime.train(duration=6.0)
-        runtime.run_election()
-        # Post-election quiescence: the structure must already be sound
-        # before any fault fires (also exercises the Table 2 bound
-        # check, which was scheduled during the election window).
-        checker.check()
-
-        runtime.start_maintenance()
-        quiet_at = injector.apply(plan, at=runtime.now + period)
-        # Ride the faults out, then give §5.1 maintenance its recovery
-        # window: heartbeat-timeout detection, lone-active re-invites
-        # and stale-claim expiry all need whole periods to act.
-        runtime.advance_to(quiet_at + config.recovery_periods * period)
-        runtime.maintenance.stop()
-        # Drain in-flight reply windows / resign cooldowns / timeouts.
-        runtime.advance_to(runtime.now + 1.5 * period)
-        checker.check()
+        run.start()
+        return run.finish()
     finally:
-        checker.close()
-
-    alive = [node for node in runtime.nodes.values() if node.alive]
-    covered: set[int] = set()
-    for node in alive:
-        covered |= node.covered_nodes()
-    alive_ids = {node.node_id for node in alive}
-    return ChaosResult(
-        config=config,
-        plan=plan,
-        violations=list(checker.violations),
-        checks_run=checker.checks_run,
-        bound_checks_run=checker.bound_checks_run,
-        crashes=injector.crashes_applied,
-        revivals=injector.revivals_applied,
-        reelections=sum(node.reelections for node in runtime.nodes.values()),
-        final_coverage=(
-            len(covered & alive_ids) / len(alive_ids) if alive_ids else 0.0
-        ),
-        alive_fraction=len(alive) / config.n_nodes,
-        runtime=runtime,
-    )
+        # finish() closes the checker on its own paths; this covers a
+        # start() that raised (e.g. the post-election quiescence check).
+        run.checker.close()

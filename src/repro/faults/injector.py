@@ -16,6 +16,7 @@ burst or partition actually begins.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
@@ -216,40 +217,41 @@ class FaultInjector:
         schedule = self.simulator.schedule_at
         if isinstance(event, NodeCrash):
             node_id = event.node_id
-            schedule(base + event.time, lambda: self.crash(node_id), label="fault:crash")
+            schedule(
+                base + event.time, partial(self.crash, node_id), label="fault:crash"
+            )
             if event.down_for is not None:
                 schedule(
                     base + event.end_time,
-                    lambda: self.revive(node_id),
+                    partial(self.revive, node_id),
                     label="fault:revive",
                 )
         elif isinstance(event, BatteryDrain):
-            node_id, fraction = event.node_id, event.fraction
             schedule(
                 base + event.time,
-                lambda: self.drain(node_id, fraction),
+                partial(self.drain, event.node_id, event.fraction),
                 label="fault:drain",
             )
         elif isinstance(event, LinkLossBurst):
             loss = event.loss
             schedule(
-                base + event.time, lambda: self.begin_burst(loss), label="fault:burst"
+                base + event.time, partial(self.begin_burst, loss), label="fault:burst"
             )
             schedule(
                 base + event.end_time,
-                lambda: self.end_burst(loss),
+                partial(self.end_burst, loss),
                 label="fault:burst-end",
             )
         elif isinstance(event, NetworkPartition):
             group = frozenset(event.group)
             schedule(
                 base + event.time,
-                lambda: self.begin_partition(group),
+                partial(self.begin_partition, group),
                 label="fault:partition",
             )
             schedule(
                 base + event.end_time,
-                lambda: self.end_partition(group),
+                partial(self.end_partition, group),
                 label="fault:partition-end",
             )
         else:  # pragma: no cover - plan validation precludes this

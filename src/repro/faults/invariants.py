@@ -36,6 +36,7 @@ Violations accumulate on the checker and raise :class:`InvariantError`
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.status import NodeMode
@@ -133,7 +134,7 @@ class InvariantChecker:
         )
         self.runtime.simulator.schedule(
             self.runtime.coordinator.settle_delay,
-            lambda: self._check_message_bound(window),
+            partial(self._check_message_bound, window),
             label="invariant:msg-bound",
         )
 

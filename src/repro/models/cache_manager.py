@@ -273,7 +273,9 @@ class ModelAwareCache(CachePolicy):
     def _refresh_dirty(self) -> None:
         """Re-score every dirty line (O(1) each) and push fresh heap entries."""
         if self._dirty:
-            for neighbor_id in self._dirty:
+            # Sorted so heap layout is independent of set iteration order,
+            # which changes across pickle round-trips (checkpoint/restore).
+            for neighbor_id in sorted(self._dirty):
                 line = self._lines.get(neighbor_id)
                 if line is None or len(line) == 0:
                     continue

@@ -118,6 +118,37 @@ class GaussianDrift(MobilityModel):
         return [(float(x), float(y)) for x, y in array]
 
 
+class _MobilityStepper:
+    """One mobility tick: advance positions and rebuild the topology.
+
+    A callable object rather than a closure so the armed periodic task
+    (and any checkpoint taken while mobility runs) pickles cleanly.
+    """
+
+    __slots__ = ("runtime", "model", "period", "rng")
+
+    def __init__(self, runtime, model: MobilityModel, period: float) -> None:
+        self.runtime = runtime
+        self.model = model
+        self.period = period
+        self.rng = runtime.simulator.random.stream("mobility")
+
+    def __call__(self) -> None:
+        runtime = self.runtime
+        topology = runtime.radio.topology
+        positions = [topology.position(node) for node in topology.node_ids]
+        new_positions = self.model.step(positions, self.period, self.rng)
+        ranges = [topology.range_of(node) for node in topology.node_ids]
+        new_topology = Topology(new_positions, ranges)
+        runtime.radio.topology = new_topology
+        runtime.topology = new_topology
+        for node_id, node in runtime.nodes.items():
+            node.location = new_topology.position(node_id)
+        runtime.simulator.trace.emit(
+            runtime.simulator.now, "mobility.step", period=self.period
+        )
+
+
 def apply_mobility(runtime, model: MobilityModel, period: float = 10.0):
     """Arm periodic mobility on a :class:`~repro.core.SnapshotRuntime`.
 
@@ -130,20 +161,5 @@ def apply_mobility(runtime, model: MobilityModel, period: float = 10.0):
 
     Returns the periodic task handle (``.stop()`` to freeze motion).
     """
-    rng = runtime.simulator.random.stream("mobility")
-
-    def move() -> None:
-        topology = runtime.radio.topology
-        positions = [topology.position(node) for node in topology.node_ids]
-        new_positions = model.step(positions, period, rng)
-        ranges = [topology.range_of(node) for node in topology.node_ids]
-        new_topology = Topology(new_positions, ranges)
-        runtime.radio.topology = new_topology
-        runtime.topology = new_topology
-        for node_id, node in runtime.nodes.items():
-            node.location = new_topology.position(node_id)
-        runtime.simulator.trace.emit(
-            runtime.simulator.now, "mobility.step", period=period
-        )
-
-    return runtime.simulator.every(period, move, label="mobility")
+    stepper = _MobilityStepper(runtime, model, period)
+    return runtime.simulator.every(period, stepper, label="mobility")

@@ -18,6 +18,7 @@ same-instant protocol steps observe a consistent global order.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional
 
 from repro.energy.accounting import EnergyLedger
@@ -247,40 +248,47 @@ class Radio:
     def _schedule_batch(
         self, message: Message, pending: list[tuple[NetworkNode, bool]]
     ) -> None:
-        cost_receive = self.cost_model.receive
-        record_delivered = self.stats.record_delivered
-
-        def deliver_batch() -> None:
-            for receiver, overheard in pending:
-                if not receiver.alive:
-                    continue
-                receiver.battery.draw(cost_receive)
-                if cost_receive > 0:
-                    self.ledger.record(receiver.node_id, "receive", cost_receive)
-                record_delivered(receiver.node_id, message)
-                receiver.deliver(message, overheard)
-
         self.simulator.schedule(
-            self.latency, deliver_batch, label=f"deliver:{message.kind}",
+            self.latency,
+            partial(self._deliver_batch, message, pending),
+            label=f"deliver:{message.kind}",
             priority=DELIVERY_PRIORITY,
         )
+
+    def _deliver_batch(
+        self, message: Message, pending: list[tuple[NetworkNode, bool]]
+    ) -> None:
+        cost_receive = self.cost_model.receive
+        record_delivered = self.stats.record_delivered
+        for receiver, overheard in pending:
+            if not receiver.alive:
+                continue
+            receiver.battery.draw(cost_receive)
+            if cost_receive > 0:
+                self.ledger.record(receiver.node_id, "receive", cost_receive)
+            record_delivered(receiver.node_id, message)
+            receiver.deliver(message, overheard)
 
     def _schedule_delivery(
         self, receiver: NetworkNode, message: Message, overheard: bool
     ) -> None:
-        def deliver() -> None:
-            if not receiver.alive:
-                return
-            receiver.battery.draw(self.cost_model.receive)
-            if self.cost_model.receive > 0:
-                self.ledger.record(receiver.node_id, "receive", self.cost_model.receive)
-            self.stats.record_delivered(receiver.node_id, message)
-            receiver.deliver(message, overheard)
-
         self.simulator.schedule(
-            self.latency, deliver, label=f"deliver:{message.kind}",
+            self.latency,
+            partial(self._deliver, receiver, message, overheard),
+            label=f"deliver:{message.kind}",
             priority=DELIVERY_PRIORITY,
         )
+
+    def _deliver(
+        self, receiver: NetworkNode, message: Message, overheard: bool
+    ) -> None:
+        if not receiver.alive:
+            return
+        receiver.battery.draw(self.cost_model.receive)
+        if self.cost_model.receive > 0:
+            self.ledger.record(receiver.node_id, "receive", self.cost_model.receive)
+        self.stats.record_delivered(receiver.node_id, message)
+        receiver.deliver(message, overheard)
 
     # -- misc --------------------------------------------------------------
 

@@ -24,6 +24,7 @@ subtree.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Optional
 
 from repro.network.messages import AggregateReport, DataReport, Message
@@ -155,7 +156,7 @@ class TagCollection:
             fire_at = t0 + (max_depth - depth + 1) * self.slot
             simulator.schedule_at(
                 fire_at,
-                lambda node=member: self._transmit_slot(node),
+                partial(self._transmit_slot, member),
                 label=f"tag:{self.query_id}",
             )
         # close the round one slot after the depth-1 transmissions land

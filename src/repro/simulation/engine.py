@@ -218,7 +218,11 @@ class Simulator:
         """Run all events with firing time ``<= time``; advance clock to ``time``.
 
         The clock is left at exactly ``time`` even if the last event fired
-        earlier, matching the usual "run for this long" semantics.
+        earlier, matching the usual "run for this long" semantics.  When
+        ``max_events`` stops the run early, the clock instead stays at
+        the last fired event — events due before ``time`` are still
+        queued, and jumping past them would make resuming the window
+        (``run_until(time)`` again) fire them in the clock's past.
         """
         if time < self.now:
             raise ValueError(f"cannot run until the past ({time} < {self.now})")
@@ -230,7 +234,35 @@ class Simulator:
             self.step()
             fired += 1
             if max_events is not None and fired >= max_events:
-                break
+                return fired
         if self.now < time:
             self.clock.advance_to(time)
         return fired
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, path, meta: Optional[dict] = None):
+        """Freeze the engine (clock, queue, RNG streams, trace, metrics)
+        to a checkpoint file; returns the saved :class:`StateDigest`.
+
+        Local import so the engine stays importable without the persist
+        subsystem's dependencies loaded.
+        """
+        from repro.persist import save_checkpoint
+
+        return save_checkpoint(self, path, meta=meta)
+
+    @classmethod
+    def restore(cls, path, verify: bool = True) -> "Simulator":
+        """Load a simulator previously saved with :meth:`checkpoint`."""
+        from repro.persist import load_checkpoint
+
+        obj = load_checkpoint(path, verify=verify)
+        if not isinstance(obj, cls):
+            raise TypeError(
+                f"checkpoint at {path} holds a {type(obj).__name__}, "
+                f"expected a {cls.__name__}"
+            )
+        return obj

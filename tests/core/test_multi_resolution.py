@@ -77,3 +77,23 @@ class TestReuseRule:
         multi = MultiResolutionSnapshot(runtime, [1.0, 10.0])
         multi.build()
         assert multi.view_for_threshold(1.0) is multi.views[1.0]
+
+
+class TestAccessors:
+    def test_view_for_threshold_before_build(self):
+        multi = MultiResolutionSnapshot(trained(), [1.0, 10.0])
+        assert multi.view_for_threshold(100.0) is None
+        assert multi.views == {}
+        assert multi.sizes() == {}
+
+    def test_views_accessor_returns_copy(self):
+        multi = MultiResolutionSnapshot(trained(), [1.0, 10.0])
+        built = multi.build()
+        stolen = multi.views
+        stolen.clear()
+        built.clear()
+        assert set(multi.views) == {1.0, 10.0}
+
+    def test_thresholds_normalized_to_tuple(self):
+        multi = MultiResolutionSnapshot(trained(), [0.5, 5.0])
+        assert multi.thresholds == (0.5, 5.0)

@@ -128,3 +128,57 @@ class TestRuntimeIntegration:
             assert node.mode is not None
             if node.mode is NodeMode.PASSIVE:
                 assert node.representative_id is not None
+
+
+class TestModelEdgeCases:
+    def test_waypoint_legs_chain_without_pause(self):
+        """With pause=0 a fast node strings together several legs in
+        one step and keeps moving on the next."""
+        model = RandomWaypoint(speed=5.0, pause=0.0)
+        rng = np.random.default_rng(7)
+        first = model.step([(0.2, 0.2)], dt=3.0, rng=rng)
+        second = model.step(first, dt=3.0, rng=rng)
+        assert first != second
+        for x, y in first + second:
+            assert 0.0 <= x <= 1.0 and 0.0 <= y <= 1.0
+
+    def test_drift_reflection_contains_huge_jumps(self):
+        """Jumps far past the borders reflect (then clip) into range."""
+        model = GaussianDrift(sigma_per_unit_time=5.0)
+        rng = np.random.default_rng(6)
+        stepped = model.step([(0.0, 0.999)] * 50, dt=1.0, rng=rng)
+        assert all(
+            0.0 <= x <= 0.999999 and 0.0 <= y <= 0.999999 for x, y in stepped
+        )
+
+
+class TestObservabilityAndPersistence:
+    def make_runtime(self) -> SnapshotRuntime:
+        return TestRuntimeIntegration.make_runtime(self)
+
+    def test_mobility_step_emits_trace(self):
+        runtime = self.make_runtime()
+        apply_mobility(runtime, GaussianDrift(sigma_per_unit_time=0.01), period=10.0)
+        runtime.advance_to(35.0)
+        assert runtime.simulator.trace.count("mobility.step") == 3
+
+    def test_mobility_survives_checkpoint(self, tmp_path):
+        """An armed mobility task checkpoints mid-motion and the resumed
+        run tracks the uninterrupted one position for position."""
+        reference = self.make_runtime()
+        apply_mobility(reference, RandomWaypoint(speed=0.05), period=10.0)
+        reference.advance_to(80.0)
+
+        runtime = self.make_runtime()
+        apply_mobility(runtime, RandomWaypoint(speed=0.05), period=10.0)
+        runtime.advance_to(40.0)
+        path = tmp_path / "mobile.ckpt"
+        runtime.checkpoint(path)
+        del runtime
+
+        restored = SnapshotRuntime.restore(path)
+        restored.advance_to(80.0)
+        assert [restored.topology.position(i) for i in range(8)] == [
+            reference.topology.position(i) for i in range(8)
+        ]
+        assert restored.state_digest().whole == reference.state_digest().whole

@@ -1,0 +1,160 @@
+"""Shared machinery for the checkpoint/restore differential suite.
+
+The suite proves resume equivalence: a run frozen to disk at an
+arbitrary point and restored must be *bit-identical, event-for-event*
+to the uninterrupted run — same trace records, same per-round and
+whole-sim digests, same message counters, same RunReport rows.
+
+Everything here is deliberately driven only by runtime-owned random
+streams (``simulator.random.stream(...)``), never by test-local
+generators, so the complete source of randomness rides inside the
+checkpoint.
+
+Extended-matrix cases (named ``test_extended_*``) automatically carry
+the ``bench`` marker — the ``benchmarks/`` convention — so tier-1's
+``-m 'not bench'`` deselection keeps the default run fast while CI's
+``persist`` job runs the full matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.runtime import SnapshotRuntime
+from repro.data.random_walk import RandomWalkConfig, generate_random_walk
+from repro.experiments.harness import make_cache_factory
+from repro.network.links import GlobalLoss
+from repro.network.topology import uniform_random_topology
+from repro.obs.report import RunReport
+from repro.persist import RoundDigestRecorder
+from repro.query.ast import Query
+from repro.query.executor import QueryExecutor
+from repro.query.spatial import random_square
+
+N_NODES = 14
+PERIOD = 25.0
+HORIZON = 140.0
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if item.name.startswith("test_extended_"):
+            item.add_marker(pytest.mark.bench)
+
+
+def build_runtime(
+    seed: int, policy: str = "model-aware", loss: float = 0.0
+) -> SnapshotRuntime:
+    """A small maintenance-ready network, fully determined by its knobs."""
+    data_rng = np.random.default_rng(seed)
+    dataset, _ = generate_random_walk(
+        RandomWalkConfig(n_nodes=N_NODES, n_classes=3, length=200), data_rng
+    )
+    topology = uniform_random_topology(N_NODES, 1.5, data_rng)
+    runtime = SnapshotRuntime(
+        topology,
+        dataset,
+        # rule4_retry is shrunk so the election settles in ~13 time
+        # units instead of the paper's ~121, keeping the scripted
+        # horizon (and the whole differential matrix) short.
+        ProtocolConfig(threshold=1.0, heartbeat_period=PERIOD, rule4_retry=0.1),
+        seed=seed,
+        loss_model=GlobalLoss(loss),
+        cache_factory=make_cache_factory(policy, 1024),
+        keep_trace_records=True,
+    )
+    # Rides inside the pickled graph, so per-round digests survive the
+    # freeze/restore cycle along with everything else.
+    runtime.round_digests = RoundDigestRecorder(runtime)
+    return runtime
+
+
+def _train(runtime):
+    runtime.train(duration=6.0)
+
+
+def _elect(runtime):
+    runtime.advance_to(20.0)
+    runtime.run_election()
+
+
+def _maintain(runtime):
+    runtime.start_maintenance()
+
+
+def _query(runtime):
+    executor = QueryExecutor(runtime)
+    region = random_square(0.4, runtime.simulator.random.stream("diff-regions"))
+    try:
+        executor.execute(Query(region=region, use_snapshot=True))
+    except RuntimeError:
+        pass  # every node dead — still a valid trajectory to compare
+
+
+def _advance(time):
+    def step(runtime):
+        runtime.advance_to(time)
+
+    return step
+
+
+#: The scripted workload every differential case drives.  Checkpoints
+#: may cut between any two steps (and, separately, mid-step at an
+#: arbitrary event index).
+SCRIPT = (
+    _train,
+    _elect,
+    _maintain,
+    _advance(55.0),
+    _query,
+    _advance(80.0),
+    _query,
+    _advance(105.0),
+    _query,
+    _advance(HORIZON),
+)
+
+
+def outcome(runtime) -> dict:
+    """Everything the differential comparison asserts on, in one dict."""
+    digest = runtime.state_digest()
+    report = RunReport.capture(runtime, meta={"case": "differential"})
+    return {
+        "whole": digest.whole,
+        "components": digest.components,
+        "trace_records": list(runtime.simulator.trace.records),
+        "trace_counts": dict(runtime.simulator.trace.counts),
+        "sent": dict(runtime.stats.sent),
+        "delivered": dict(runtime.stats.delivered),
+        "dropped": dict(runtime.stats.dropped),
+        "events_processed": runtime.simulator.events_processed,
+        "now": runtime.simulator.now,
+        "report_meta": report.meta,
+        "report_rows": report.rows,
+        "round_digests": list(runtime.round_digests.rounds),
+    }
+
+
+def assert_outcomes_equal(resumed: dict, reference: dict) -> None:
+    """Field-by-field comparison, so a divergence names what broke."""
+    assert resumed["events_processed"] == reference["events_processed"]
+    assert resumed["now"] == reference["now"]
+    assert resumed["trace_counts"] == reference["trace_counts"]
+    assert resumed["trace_records"] == reference["trace_records"]
+    assert resumed["sent"] == reference["sent"]
+    assert resumed["delivered"] == reference["delivered"]
+    assert resumed["dropped"] == reference["dropped"]
+    assert resumed["report_meta"] == reference["report_meta"]
+    assert resumed["report_rows"] == reference["report_rows"]
+    assert resumed["round_digests"] == reference["round_digests"]
+    assert resumed["components"] == reference["components"]
+    assert resumed["whole"] == reference["whole"]
+
+
+def run_reference(seed: int, policy: str, loss: float) -> dict:
+    runtime = build_runtime(seed, policy, loss)
+    for step in SCRIPT:
+        step(runtime)
+    return outcome(runtime)

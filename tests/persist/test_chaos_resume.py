@@ -1,0 +1,78 @@
+"""Resume equivalence through a fault plan: freeze mid-chaos, restore,
+and the ridden-out schedule is bit-identical to the uninterrupted one."""
+
+from __future__ import annotations
+
+from repro.faults.chaos import ChaosConfig, ChaosRun
+from repro.persist import load_checkpoint, save_checkpoint, state_digest
+
+CONFIG = ChaosConfig(seed=11, n_nodes=8, n_faults=5, loss_burst=0.2)
+
+
+def _result_fields(result) -> dict:
+    return {
+        "ok": result.ok,
+        "violations": [str(v) for v in result.violations],
+        "checks_run": result.checks_run,
+        "bound_checks_run": result.bound_checks_run,
+        "crashes": result.crashes,
+        "revivals": result.revivals,
+        "reelections": result.reelections,
+        "final_coverage": result.final_coverage,
+        "alive_fraction": result.alive_fraction,
+        "sent": dict(result.runtime.stats.sent),
+        "dropped": dict(result.runtime.stats.dropped),
+        "events": result.runtime.simulator.events_processed,
+    }
+
+
+def test_resume_mid_fault_plan_matches_uninterrupted(tmp_path):
+    # Uninterrupted reference schedule.
+    reference = ChaosRun(CONFIG)
+    try:
+        reference.start()
+        reference_result = reference.finish()
+    finally:
+        reference.checker.close()
+
+    # Same schedule, frozen to disk halfway through the fault window —
+    # crashes/bursts/partitions still pending in the queue, the loss
+    # overlay armed, the invariant checker's subscriptions live.
+    interrupted = ChaosRun(CONFIG)
+    quiet_at = interrupted.start()
+    started_at = interrupted.runtime.now
+    assert quiet_at > started_at
+    freeze_at = started_at + (quiet_at - started_at) / 2
+    interrupted.advance_to(freeze_at)
+    assert interrupted.runtime.now < quiet_at, "freeze point must be mid-plan"
+    path = tmp_path / "mid-chaos.ckpt"
+    saved = save_checkpoint(interrupted, path)
+    del interrupted
+
+    resumed = load_checkpoint(path)
+    assert state_digest(resumed).whole == saved.whole
+    assert "chaos" in saved.components, "digest_extra must fold chaos state in"
+    try:
+        resumed_result = resumed.finish()
+    finally:
+        resumed.checker.close()
+
+    assert _result_fields(resumed_result) == _result_fields(reference_result)
+    assert (
+        state_digest(resumed).whole == state_digest(reference).whole
+    ), "finished states must be bit-identical"
+
+
+def test_chaos_run_refuses_double_finish(tmp_path):
+    run = ChaosRun(ChaosConfig(seed=3, n_nodes=6, n_faults=3))
+    try:
+        run.start()
+        run.finish()
+    finally:
+        run.checker.close()
+    try:
+        run.finish()
+    except RuntimeError as error:
+        assert "already finished" in str(error)
+    else:
+        raise AssertionError("second finish() must be rejected")

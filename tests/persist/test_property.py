@@ -1,0 +1,173 @@
+"""Property tests: query text round-trips and checkpoint round-trips.
+
+Two invariant families back the persistence story:
+
+* ``parse(format(q)) == q`` for every representable ``USE SNAPSHOT``
+  query — the dialect's own serialization is lossless, so checkpoint
+  metadata and logs that carry query text are faithful.
+* A cache (either policy) or a bare :class:`RegressionStats` written
+  through the on-disk checkpoint format and read back is *exactly* the
+  object that was saved: identical canonical digest, bit-identical
+  regression fit.  This is the micro-level version of what the
+  differential suite proves for whole simulations.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.cache_manager import ModelAwareCache
+from repro.models.regression import RegressionStats
+from repro.models.round_robin import RoundRobinCache
+from repro.persist import load_checkpoint, save_checkpoint
+from repro.persist.digest import canonical_bytes
+from repro.query.ast import Aggregate, Comparison, Query, ValuePredicate
+from repro.query.formatting import format_query
+from repro.query.parser import parse_query
+from repro.query.spatial import Circle, Everywhere, Rect
+
+# ----------------------------------------------------------------------
+# parse → format → parse
+# ----------------------------------------------------------------------
+
+#: Floats that survive the formatter's ``%g`` rendering exactly: scaled
+#: integers stay within six significant digits.
+def _centi(min_value: int, max_value: int):
+    return st.integers(min_value, max_value).map(lambda n: n / 100)
+
+
+_ATTRIBUTES = st.sampled_from(("value", "temperature", "humidity"))
+
+
+@st.composite
+def _regions(draw):
+    choice = draw(st.integers(0, 2))
+    if choice == 0:
+        return Everywhere()
+    if choice == 1:
+        x_low, x_high = sorted((draw(_centi(-200, 200)), draw(_centi(-200, 200))))
+        y_low, y_high = sorted((draw(_centi(-200, 200)), draw(_centi(-200, 200))))
+        return Rect(x_low, y_low, x_high, y_high)
+    return Circle(
+        draw(_centi(-200, 200)), draw(_centi(-200, 200)), draw(_centi(1, 300))
+    )
+
+
+@st.composite
+def snapshot_queries(draw) -> Query:
+    """Generated ``USE SNAPSHOT`` queries spanning the whole dialect."""
+    region = draw(_regions())
+    predicate = draw(
+        st.none()
+        | st.builds(
+            ValuePredicate,
+            attribute=_ATTRIBUTES,
+            op=st.sampled_from(list(Comparison)),
+            constant=_centi(-99999, 99999),
+        )
+    )
+    if draw(st.booleans()):
+        sample_interval = float(draw(st.integers(1, 600)))
+        duration = float(draw(st.integers(1, 120)) * 60)
+    else:
+        sample_interval = duration = None
+    threshold = draw(st.none() | _centi(1, 5000))
+    common = dict(
+        region=region,
+        value_predicate=predicate,
+        sample_interval=sample_interval,
+        duration=duration,
+        use_snapshot=True,
+        snapshot_threshold=threshold,
+    )
+    if draw(st.booleans()):
+        return Query(
+            select=(),
+            aggregate=draw(st.sampled_from(list(Aggregate))),
+            aggregate_attribute=draw(_ATTRIBUTES),
+            **common,
+        )
+    select = draw(
+        st.lists(
+            st.sampled_from(("loc", "value", "temperature", "humidity")),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        ).map(tuple)
+    )
+    return Query(select=select, **common)
+
+
+@given(snapshot_queries())
+@settings(max_examples=150, deadline=None)
+def test_parse_format_parse_roundtrip(query):
+    text = format_query(query)
+    parsed = parse_query(text)
+    assert parsed == query
+    # and the text itself is a fixed point
+    assert format_query(parsed) == text
+
+
+# ----------------------------------------------------------------------
+# checkpoint round-trips through disk
+# ----------------------------------------------------------------------
+
+_observations = st.lists(
+    st.tuples(
+        st.integers(0, 5),  # neighbor id
+        st.floats(-1e6, 1e6, allow_nan=False, width=64),
+        st.floats(-1e6, 1e6, allow_nan=False, width=64),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def _roundtrip(obj):
+    """Save ``obj`` through the on-disk format and load it back."""
+    with tempfile.TemporaryDirectory() as directory:
+        path = os.path.join(directory, "obj.ckpt")
+        save_checkpoint(obj, path)
+        return load_checkpoint(path)
+
+
+@given(_observations)
+@settings(max_examples=40, deadline=None)
+def test_regression_stats_roundtrip_is_exact(observations):
+    stats = RegressionStats()
+    for _, x, y in observations:
+        stats.add(x, y)
+    restored = _roundtrip(stats)
+    assert canonical_bytes(restored.fit()) == canonical_bytes(stats.fit())
+    assert restored.n == stats.n
+    # continuing to feed both after the round trip stays bit-identical
+    stats.add(1.5, -2.5)
+    restored.add(1.5, -2.5)
+    assert canonical_bytes(restored.fit()) == canonical_bytes(stats.fit())
+
+
+@given(_observations, st.sampled_from([ModelAwareCache, RoundRobinCache]))
+@settings(max_examples=40, deadline=None)
+def test_cache_policy_roundtrip_is_exact(observations, policy_cls):
+    cache = policy_cls(cache_bytes=256)  # small budget → evictions happen
+    for neighbor, x, y in observations:
+        cache.observe(neighbor, x, y)
+    restored = _roundtrip(cache)
+
+    from repro.persist.digest import _digest_policy
+
+    assert _digest_policy(restored) == _digest_policy(cache)
+    # the restored cache *behaves* identically under further traffic
+    for neighbor, x, y in observations[:10]:
+        assert cache.observe(neighbor, y, x) == restored.observe(neighbor, y, x)
+    assert _digest_policy(restored) == _digest_policy(cache)
+    for neighbor in cache.known_neighbors():
+        line, restored_line = cache.line(neighbor), restored.line(neighbor)
+        assert restored_line.pairs == line.pairs
+        assert canonical_bytes(restored_line.stats.fit()) == canonical_bytes(
+            line.stats.fit()
+        )

@@ -125,3 +125,48 @@ class TestSemantics:
         runtime.advance_to(runtime.now + 20)
         assert 0.0 < handle.mean_participants() <= 6.0
         assert handle.mean_coverage() == pytest.approx(1.0)
+
+
+class TestDegradedNetworks:
+    def test_pinned_sink_death_degrades_to_random_sink(self):
+        """A dead pinned collection point downgrades to per-epoch random
+        sinks instead of crashing the query out of sink validation."""
+        runtime = runtime_with_snapshot(battery=500.0)
+        executor = QueryExecutor(runtime)
+        query = parse_query(
+            "SELECT loc, value FROM sensors SAMPLE INTERVAL 5s FOR 25s USE SNAPSHOT"
+        )
+        handle = ContinuousQuery(executor, query, sink=3).start()
+        runtime.advance_to(runtime.now + 7)  # one epoch with the pinned sink
+        runtime.radio.node(3).battery.draw(1e9)  # kill the sink mid-query
+        runtime.advance_to(runtime.now + 23)
+        assert handle.finished
+        assert len(handle.records) == 5
+        # epochs after the death were still answered (substitute sinks)
+        assert handle.records[-1].coverage > 0.0
+
+    def test_whole_network_death_stops_query(self):
+        runtime = runtime_with_snapshot(battery=200.0)
+        executor = QueryExecutor(runtime)
+        query = parse_query(
+            "SELECT loc FROM sensors SAMPLE INTERVAL 5s FOR 500s USE SNAPSHOT"
+        )
+        handle = ContinuousQuery(executor, query).start()
+        for node in runtime.radio.nodes.values():
+            node.battery.draw(1e9)
+        runtime.advance_to(runtime.now + 20)
+        assert handle.finished
+        assert handle.records == []
+
+    def test_statistics_before_first_epoch(self):
+        runtime = runtime_with_snapshot()
+        executor = QueryExecutor(runtime)
+        query = parse_query("SELECT loc FROM sensors SAMPLE INTERVAL 5s FOR 10s")
+        handle = ContinuousQuery(executor, query)
+        assert not handle.finished
+        assert handle.total_epochs == 2
+        assert handle.results == []
+        assert handle.aggregate_series() == []
+        assert handle.mean_coverage() == 0.0
+        assert handle.mean_participants() == 0.0
+        assert handle.runtime is runtime
