@@ -24,6 +24,7 @@ so a pair occupies 8 bytes; a cache of 2,048 bytes holds 256 pairs.
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Sequence
 from itertools import islice
 from typing import Iterator, Optional
 
@@ -37,6 +38,7 @@ from repro.models.regression import (
 
 __all__ = [
     "CacheLine",
+    "PairsView",
     "BYTES_PER_VALUE",
     "BYTES_PER_PAIR",
     "STATS_SYNC_INTERVAL",
@@ -79,6 +81,45 @@ def pairs_for_budget(cache_bytes: int) -> int:
     return cache_bytes // BYTES_PER_PAIR
 
 
+class PairsView(Sequence):
+    """Read-only, lazy view of a line's stored pairs, oldest first.
+
+    Wraps the live container without copying: ``len``, indexing
+    (negative indices and slices included), iteration and equality
+    against any sequence of pairs all work, but the view follows
+    subsequent mutations of the line.  Snapshot with ``list(view)``
+    when a frozen copy is needed.
+    """
+
+    __slots__ = ("_pairs",)
+
+    def __init__(self, pairs: Sequence[tuple[float, float]]) -> None:
+        self._pairs = pairs
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self._pairs)[index]
+        return self._pairs[index]
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(self._pairs)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PairsView):
+            other = other._pairs
+        if isinstance(other, (list, tuple, deque)):
+            if len(self._pairs) != len(other):
+                return False
+            return all(a == b for a, b in zip(self._pairs, other))
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"PairsView({list(self._pairs)!r})"
+
+
 class CacheLine:
     """Time-ordered ``(x_i, x_j)`` observations for one neighbor.
 
@@ -96,6 +137,7 @@ class CacheLine:
         "_benefit",
         "_penalty",
         "_evictions_since_sync",
+        "_exact_sums",
     )
 
     def __init__(self, neighbor_id: int) -> None:
@@ -107,6 +149,7 @@ class CacheLine:
         self._benefit: Optional[float] = None
         self._penalty: Optional[float] = None
         self._evictions_since_sync = 0
+        self._exact_sums: Optional[tuple] = None
 
     def __len__(self) -> int:
         return len(self._pairs)
@@ -115,13 +158,19 @@ class CacheLine:
         return iter(self._pairs)
 
     @property
-    def pairs(self) -> list[tuple[float, float]]:
-        """The stored pairs, oldest first (a copy).
+    def pairs(self) -> PairsView:
+        """The stored pairs, oldest first (a lazy, read-only view).
 
-        Diagnostic/test accessor — nothing on the decision hot path
-        touches it (see ``test_no_pair_copies_on_hot_path``).
+        The view wraps the live container — no copy — so it tracks
+        later mutations; snapshot with ``list(line.pairs)`` when a
+        frozen copy is needed.
         """
-        return list(self._pairs)
+        return PairsView(self._pairs)
+
+    @property
+    def evictions_since_sync(self) -> int:
+        """Evictions since the last exact resync of the running sums."""
+        return self._evictions_since_sync
 
     @property
     def oldest(self) -> tuple[float, float]:
@@ -286,22 +335,7 @@ class CacheLine:
         :data:`_NEAR_TIE_RTOL` of zero.
         """
         pairs = self._pairs
-        n = len(pairs)
-        sx = sy = sxx = sxy = 0.0
-        sx_r = sy_r = sxx_r = sxy_r = 0.0
-        first = True
-        for px, py in pairs:
-            sx += px
-            sy += py
-            sxx += px * px
-            sxy += px * py
-            if first:
-                first = False
-            else:
-                sx_r += px
-                sy_r += py
-                sxx_r += px * px
-                sxy_r += px * py
+        n, sx, sy, sxx, sxy, sx_r, sy_r, sxx_r, sxy_r = self._exact_first_pass()
         a_f, b_f = batch_fit_coefficients(n, sx, sy, sxx, sxy)
         a_r, b_r = batch_fit_coefficients(n - 1, sx_r, sy_r, sxx_r, sxy_r)
         base = 0.0
@@ -315,6 +349,37 @@ class CacheLine:
             sse_r += r * r
         base /= n
         return (base - sse_f / n) - (base - sse_r / n)
+
+    def _exact_first_pass(self) -> tuple:
+        """Memoized in-order batch sums over the stored pairs.
+
+        ``(n, Σx, Σy, Σx², Σxy, Σx_r, Σy_r, Σx²_r, Σxy_r)`` where the
+        ``_r`` sums exclude the oldest pair — the shared first pass of
+        every exact near-tie fallback (:meth:`_exact_penalty` here and
+        the manager's exact benefit re-scoring).  A full cache can hit
+        several fallbacks between mutations of the same line; the memo
+        collapses them to one O(n) pass, invalidated on mutation.
+        """
+        if self._exact_sums is None:
+            sx = sy = sxx = sxy = 0.0
+            sx_r = sy_r = sxx_r = sxy_r = 0.0
+            first = True
+            for px, py in self._pairs:
+                sx += px
+                sy += py
+                sxx += px * px
+                sxy += px * py
+                if first:
+                    first = False
+                else:
+                    sx_r += px
+                    sy_r += py
+                    sxx_r += px * px
+                    sxy_r += px * py
+            self._exact_sums = (
+                len(self._pairs), sx, sy, sxx, sxy, sx_r, sy_r, sxx_r, sxy_r
+            )
+        return self._exact_sums
 
     def resync_stats(self) -> None:
         """Re-derive the running sums exactly from the stored pairs.
@@ -335,6 +400,7 @@ class CacheLine:
         self._model_ab = None
         self._benefit = None
         self._penalty = None
+        self._exact_sums = None
 
     def __repr__(self) -> str:
         return f"CacheLine(neighbor={self.neighbor_id}, pairs={len(self._pairs)})"

@@ -55,24 +55,119 @@ implementation's.
 from __future__ import annotations
 
 import heapq
-from typing import Optional
+from typing import Iterator, Optional
 
-from repro.models.cache import CacheLine, _NEAR_TIE_RTOL
+from repro.models.cache import CacheLine, PairsView, _NEAR_TIE_RTOL
 from repro.models.policy import Action, CachePolicy
 from repro.models.regression import (
+    LinearModel,
+    RegressionStats,
     batch_fit_coefficients,
     fit_coefficients,
     model_sse,
 )
+from repro.models.soa import NeighborBlock
 
-__all__ = ["ModelAwareCache"]
+__all__ = ["ModelAwareCache", "CacheLineView"]
+
+
+class CacheLineView:
+    """Read-only :class:`CacheLine` facade over a :class:`NeighborBlock` row.
+
+    Resolves its row by neighbor id at every access, so the view stays
+    valid across evictions that move or free rows; it exposes the exact
+    read surface consumers of ``policy.line(j)`` use — ``len``,
+    iteration, ``pairs``, ``oldest``, ``stats``, the fitted model,
+    benefit and eviction penalty — all answered from the block's
+    columns and memos.
+    """
+
+    __slots__ = ("_block", "neighbor_id")
+
+    def __init__(self, block: NeighborBlock, neighbor_id: int) -> None:
+        self._block = block
+        self.neighbor_id = neighbor_id
+
+    def _row(self) -> Optional[int]:
+        return self._block.row_of(self.neighbor_id)
+
+    def __len__(self) -> int:
+        r = self._row()
+        return 0 if r is None else self._block.pair_count(r)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        r = self._row()
+        return iter(()) if r is None else iter(self._block.pairs(r))
+
+    @property
+    def pairs(self) -> PairsView:
+        """The stored pairs, oldest first (a lazy, read-only view)."""
+        r = self._row()
+        return PairsView(() if r is None else self._block.pairs(r))
+
+    @property
+    def oldest(self) -> tuple[float, float]:
+        r = self._row()
+        if r is None:
+            raise IndexError(f"cache line for neighbor {self.neighbor_id} is empty")
+        return self._block.pairs(r)[0]
+
+    @property
+    def stats(self) -> RegressionStats:
+        """A fresh :class:`RegressionStats` snapshot of the row's sums."""
+        r = self._row()
+        if r is None:
+            return RegressionStats()
+        return RegressionStats(*self._block.sums(r))
+
+    @property
+    def evictions_since_sync(self) -> int:
+        r = self._row()
+        return 0 if r is None else self._block.evictions_since_sync(r)
+
+    def model_coefficients(self) -> tuple[float, float]:
+        r = self._row()
+        if r is None:
+            raise ValueError("cannot fit a model to an empty cache line")
+        return self._block.fit(r)
+
+    def model(self) -> LinearModel:
+        return LinearModel(*self.model_coefficients())
+
+    def benefit(self) -> float:
+        r = self._row()
+        return 0.0 if r is None else self._block.benefit(r)
+
+    def eviction_penalty(self) -> float:
+        r = self._row()
+        return 0.0 if r is None else self._block.penalty(r)
+
+    def __repr__(self) -> str:
+        return f"CacheLineView(neighbor={self.neighbor_id}, pairs={len(self)})"
 
 
 class ModelAwareCache(CachePolicy):
-    """Benefit-driven cache admission and replacement (§4)."""
+    """Benefit-driven cache admission and replacement (§4).
 
-    def __init__(self, cache_bytes: int) -> None:
+    Parameters
+    ----------
+    cache_bytes:
+        Total budget (Figure 8 sweeps 200 B – 4 KB; 2,048 B default).
+    vectorized:
+        ``True`` (default) stores all lines in one struct-of-arrays
+        :class:`~repro.models.soa.NeighborBlock` and answers the line
+        API through :class:`CacheLineView` facades; ``False`` keeps the
+        original per-line object graph.  The two backing stores are
+        decision-for-decision bit-identical (pinned by the golden-trace
+        and property suites) — the flag only trades representation.
+    """
+
+    def __init__(self, cache_bytes: int, vectorized: bool = True) -> None:
         super().__init__(cache_bytes)
+        self.vectorized = bool(vectorized)
+        self._block: Optional[NeighborBlock] = (
+            NeighborBlock(cache_bytes) if self.vectorized else None
+        )
         #: Memoized Penalty_Evict per line; absent while a line is dirty.
         self._penalties: dict[int, float] = {}
         #: Lazy min-heap of (penalty, neighbor_id); entries whose penalty
@@ -84,6 +179,9 @@ class ModelAwareCache(CachePolicy):
 
     def observe(self, neighbor_id: int, own_value: float, neighbor_value: float) -> str:
         """Offer a fresh pair for ``neighbor_id``; returns the action taken."""
+        if self._block is not None:
+            return self._block.observe(neighbor_id, own_value, neighbor_value)
+
         new_pair = (float(own_value), float(neighbor_value))
 
         if self._total_pairs < self.capacity_pairs:
@@ -105,9 +203,45 @@ class ModelAwareCache(CachePolicy):
 
     def forget(self, neighbor_id: int) -> None:
         """Drop all history for ``neighbor_id`` (e.g. a departed node)."""
+        if self._block is not None:
+            self._block.forget(neighbor_id)
+            return
         super().forget(neighbor_id)
         self._penalties.pop(neighbor_id, None)
         self._dirty.discard(neighbor_id)
+
+    # -- block-backed read surface -------------------------------------------
+
+    @property
+    def total_pairs(self) -> int:
+        """Pairs currently stored across all lines (O(1) running count)."""
+        if self._block is not None:
+            return self._block.total
+        return self._total_pairs
+
+    def known_neighbors(self) -> list[int]:
+        """Neighbors with at least one stored pair, ascending id."""
+        if self._block is not None:
+            return self._block.neighbor_ids()
+        return super().known_neighbors()
+
+    def line(self, neighbor_id: int) -> Optional[CacheLine | CacheLineView]:
+        """The cache line for ``neighbor_id``, or ``None``."""
+        if self._block is not None:
+            if self._block.row_of(neighbor_id) is None:
+                return None
+            return CacheLineView(self._block, neighbor_id)
+        return super().line(neighbor_id)
+
+    def digest_state(self) -> tuple:
+        """Canonical state: the shared line state plus the newcomer cursor."""
+        cursor = self._block.rr_cursor if self._block is not None else self._rr_cursor
+        return super().digest_state() + (cursor,)
+
+    def _check_capacity_invariant(self) -> None:
+        assert self.total_pairs <= self.capacity_pairs, (
+            f"cache over budget: {self.total_pairs} > {self.capacity_pairs}"
+        )
 
     # -- the §4 decision procedure ------------------------------------------
 
@@ -207,24 +341,9 @@ class ModelAwareCache(CachePolicy):
         of the strict comparisons it always did.  O(line length); reached
         only when the closed-form benefits are within :data:`_NEAR_TIE_RTOL`.
         """
-        # Fits from single-pass sums (same accumulation order as batch).
-        sx = sy = sxx = sxy = 0.0
-        first = True
-        sx_sh = sy_sh = sxx_sh = sxy_sh = 0.0
-        n = 0
-        for px, py in line:
-            n += 1
-            sx += px
-            sy += py
-            sxx += px * px
-            sxy += px * py
-            if first:
-                first = False
-            else:
-                sx_sh += px
-                sy_sh += py
-                sxx_sh += px * px
-                sxy_sh += px * py
+        # Fits from single-pass sums (same accumulation order as batch),
+        # shared — via the line's memo — with _exact_penalty's first pass.
+        n, sx, sy, sxx, sxy, sx_sh, sy_sh, sxx_sh, sxy_sh = line._exact_first_pass()
         a_cur, b_cur = batch_fit_coefficients(n, sx, sy, sxx, sxy)
         a_sh, b_sh = batch_fit_coefficients(n, sx_sh + x, sy_sh + y, sxx_sh + x * x, sxy_sh + x * y)
         n_aug = n + 1

@@ -81,7 +81,7 @@ class CachePolicy(abc.ABC):
 
     def model(self, neighbor_id: int) -> Optional[LinearModel]:
         """Current model for ``neighbor_id``, or ``None`` if no history."""
-        line = self._lines.get(neighbor_id)
+        line = self.line(neighbor_id)
         if line is None or len(line) == 0:
             return None
         return line.model()
@@ -99,11 +99,58 @@ class CachePolicy(abc.ABC):
         if line is not None:
             self._total_pairs -= len(line)
 
+    def digest_state(self) -> tuple:
+        """The policy's canonical state for digests and equivalence tests.
+
+        Covers exactly what determines future decisions: the budget,
+        the stored pairs and the live sufficient sums (including any
+        subtraction drift — two caches only behave identically if their
+        *sums* match bit-for-bit, not just their pairs) plus each
+        line's resync countdown.  Derived memo caches (fit / benefit /
+        penalty values and their bookkeeping) are deliberately omitted:
+        they are pure functions of this state, so backing-store
+        representations that memoize differently digest equal when —
+        and only when — they will behave identically.
+
+        Subclasses with extra decision state (round-robin cursors,
+        insertion orders) must append it via their override.
+        """
+        lines = {}
+        for j in self.known_neighbors():
+            line = self.line(j)
+            st = line.stats
+            lines[j] = (
+                j,
+                tuple(line.pairs),
+                (st.n, st.sum_x, st.sum_y, st.sum_xx, st.sum_xy, st.sum_yy),
+                line.evictions_since_sync,
+            )
+        return (
+            type(self).__qualname__,
+            self.cache_bytes,
+            self.total_pairs,
+            lines,
+        )
+
     # -- write side ------------------------------------------------------------
 
     @abc.abstractmethod
     def observe(self, neighbor_id: int, own_value: float, neighbor_value: float) -> str:
         """Offer a synchronized observation; returns the :class:`Action` taken."""
+
+    def observe_batch(self, neighbor_ids, own_values, neighbor_values) -> list[str]:
+        """Offer one synchronized observation per neighbor; actions in order.
+
+        The base implementation is a plain :meth:`observe` loop —
+        observations within one cache are order-dependent (§4's augment
+        moves pairs across lines), so a single cache cannot fan them
+        out.  Cross-cache batching is where vectorization pays; see
+        :class:`~repro.models.soa.ModelAwareCacheFleet`.
+        """
+        return [
+            self.observe(j, x, y)
+            for j, x, y in zip(neighbor_ids, own_values, neighbor_values)
+        ]
 
     # -- internal helpers ------------------------------------------------------
 

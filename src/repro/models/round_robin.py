@@ -46,3 +46,7 @@ class RoundRobinCache(CachePolicy):
         self._insertion_order = deque(
             j for j in self._insertion_order if j != neighbor_id
         )
+
+    def digest_state(self) -> tuple:
+        """Canonical state: the shared line state plus the global FIFO order."""
+        return super().digest_state() + (tuple(self._insertion_order),)

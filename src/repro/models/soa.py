@@ -1,0 +1,1324 @@
+"""Struct-of-arrays backing stores for the model-aware cache (§4).
+
+Two granularities of the same layout live here, both bit-identical to
+the scalar :class:`~repro.models.cache.CacheLine` object graph (pinned
+by the golden-trace and hypothesis suites):
+
+* :class:`NeighborBlock` — *one block per node*.  All cache lines of a
+  node live in parallel columns indexed by row: the six RegressionStats
+  sufficient sums ``(n, Σx, Σy, Σx², Σxy, Σy²)``, the ring-buffered
+  sample pairs, and the memoized fit/benefit/penalty columns with their
+  validity flags.  ``ModelAwareCache(vectorized=True)`` delegates to it
+  and exposes the old line API as thin views
+  (:class:`~repro.models.cache_manager.CacheLineView`).
+
+* :class:`ModelAwareCacheFleet` — *many caches per block*.  The same
+  columns flattened across ``F`` independent caches (row = cache × slot)
+  as contiguous numpy arrays, advanced one observation per cache per
+  :meth:`~ModelAwareCacheFleet.observe_batch` call with the §4 decision
+  procedure evaluated lane-parallel.  This is the ≥3x throughput kernel
+  and the substrate for the 10k+-node scale goals (ROADMAP items 1–3).
+
+Why two storage representations?  The §4 decision procedure is
+inherently sequential *within* a cache: ~85% of full-cache decisions
+augment, and an augment mutates a victim line chosen across the whole
+cache, so consecutive observations of one node conflict and cannot be
+evaluated as independent lanes without changing results.  Lanes must
+therefore be *caches*, not neighbors.  For a single cache the hot path
+is scalar element access, where CPython reads a Python list ~3x faster
+than a numpy array (each numpy scalar read boxes a fresh float object);
+for the fleet the hot path is column arithmetic across hundreds of
+lanes, where numpy wins by an order of magnitude.  Each block therefore
+uses the column container its access pattern favors — Python lists per
+node, numpy arrays per fleet — while keeping identical column meaning
+and identical arithmetic.  ``NeighborBlock.as_arrays`` materializes the
+per-node columns as numpy arrays for column-wise consumers.
+
+Bit-identity with the scalar path rests on a few load-bearing rules,
+shared by both blocks and documented once here:
+
+* eviction applies sums *subtract-then-add* while decision scoring
+  builds candidates *add-then-subtract* — exactly the scalar orders;
+* a row whose count reaches zero snaps its sums to exact ``0.0``;
+* drift resyncs accumulate left-to-right (``cumsum`` row prefixes in
+  the fleet), matching the scalar loop — ``np.sum``'s pairwise order
+  would differ in the last bits;
+* the near-tie fallbacks (:data:`~repro.models.cache._NEAR_TIE_RTOL`)
+  re-score candidates with the original batch arithmetic, so exact
+  floating-point ties resolve the same way they always did.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.models.cache import (
+    _NEAR_TIE_RTOL,
+    BYTES_PER_PAIR,
+    STATS_SYNC_INTERVAL,
+    pairs_for_budget,
+)
+
+__all__ = ["NeighborBlock", "ModelAwareCacheFleet", "ACTION_CODES", "ACTION_NAMES"]
+
+_RTOL = _NEAR_TIE_RTOL
+_DEG = 1e-12  # regression._DEGENERATE_RTOL, inlined on the hot path
+_SYNC = STATS_SYNC_INTERVAL
+
+#: Compact action encoding used by the fleet's vectorized
+#: :meth:`ModelAwareCacheFleet.observe_batch` (int8 per lane instead of
+#: a Python string per cache).  Names match :class:`~repro.models.policy.Action`.
+ACTION_CODES = {"reject": 0, "shift": 1, "augment": 2, "append": 3, "newcomer": 4}
+ACTION_NAMES = {code: name for name, code in ACTION_CODES.items()}
+
+
+class NeighborBlock:
+    """Per-node struct-of-arrays store of all cache lines (§4).
+
+    Columns are parallel Python lists indexed by row; a row holds one
+    neighbor's line.  Freed rows (lines emptied by eviction or
+    ``forget``) go on a free-list and are reused, so the columns never
+    shrink and row indices stay dense.  All §4 quantities — fit,
+    benefit, eviction penalty — are memoized per row with validity
+    flags and recomputed lazily, mirroring the scalar ``CacheLine``
+    memos exactly.
+
+    The public entry point is :meth:`observe`; everything else is the
+    read surface the :class:`~repro.models.cache_manager.CacheLineView`
+    adapters and the digest canonicalization consume.
+    """
+
+    __slots__ = (
+        "cache_bytes", "capacity_pairs", "total", "rr_cursor",
+        "_index", "_ids", "_free",
+        "_n", "_sx", "_sy", "_sxx", "_sxy", "_syy",
+        "_fa", "_fb", "_fok", "_ben", "_bok", "_pen", "_pok",
+        "_esync", "_pairs",
+    )
+
+    def __init__(self, cache_bytes: int) -> None:
+        self.cache_bytes = int(cache_bytes)
+        self.capacity_pairs = pairs_for_budget(self.cache_bytes)
+        self.total = 0            #: pairs stored across all rows
+        self.rr_cursor = -1       #: last round-robin newcomer victim id
+        self._index: dict[int, int] = {}   # neighbor id -> row
+        self._ids: list[int] = []          # row -> neighbor id (-1 = free)
+        self._free: list[int] = []
+        # sufficient sums
+        self._n: list[int] = []
+        self._sx: list[float] = []
+        self._sy: list[float] = []
+        self._sxx: list[float] = []
+        self._sxy: list[float] = []
+        self._syy: list[float] = []
+        # memo columns + validity flags
+        self._fa: list[float] = []
+        self._fb: list[float] = []
+        self._fok: list[bool] = []
+        self._ben: list[float] = []
+        self._bok: list[bool] = []
+        self._pen: list[float] = []
+        self._pok: list[bool] = []
+        self._esync: list[int] = []
+        # ring-buffered sample pairs, oldest first
+        self._pairs: list[deque[tuple[float, float]]] = []
+
+    # -- row management -----------------------------------------------------
+
+    def row_of(self, neighbor_id: int) -> Optional[int]:
+        """The row holding ``neighbor_id``'s line, or ``None``."""
+        return self._index.get(neighbor_id)
+
+    def neighbor_ids(self) -> list[int]:
+        """Neighbors with at least one stored pair, ascending id."""
+        return sorted(j for j, r in self._index.items() if self._n[r] > 0)
+
+    def _new_row(self, j: int) -> int:
+        if self._free:
+            r = self._free.pop()
+            self._ids[r] = j
+            self._n[r] = 0
+            self._sx[r] = self._sy[r] = 0.0
+            self._sxx[r] = self._sxy[r] = self._syy[r] = 0.0
+            self._fok[r] = self._bok[r] = self._pok[r] = False
+            self._esync[r] = 0
+            self._pairs[r].clear()
+        else:
+            r = len(self._ids)
+            self._ids.append(j)
+            self._n.append(0)
+            self._sx.append(0.0); self._sy.append(0.0)
+            self._sxx.append(0.0); self._sxy.append(0.0); self._syy.append(0.0)
+            self._fa.append(0.0); self._fb.append(0.0); self._fok.append(False)
+            self._ben.append(0.0); self._bok.append(False)
+            self._pen.append(0.0); self._pok.append(False)
+            self._esync.append(0)
+            self._pairs.append(deque())
+        self._index[j] = r
+        return r
+
+    def _free_row(self, r: int) -> None:
+        del self._index[self._ids[r]]
+        self._ids[r] = -1
+        self._n[r] = 0
+        self._free.append(r)
+
+    # -- the observe hot path -----------------------------------------------
+
+    def observe(self, neighbor_id: int, own_value: float, neighbor_value: float) -> str:
+        """Offer a fresh pair; returns the §4 action name taken."""
+        x = float(own_value); y = float(neighbor_value)
+        j = neighbor_id
+        r = self._index.get(j)
+        if self.total < self.capacity_pairs:
+            if r is None:
+                r = self._new_row(j)
+            self._append(r, x, y)
+            return "append"
+        if r is None or self._n[r] == 0:
+            return self._newcomer(j, x, y)
+        return self._decide(r, j, x, y)
+
+    def forget(self, neighbor_id: int) -> None:
+        """Drop all history for ``neighbor_id`` (e.g. a departed node)."""
+        r = self._index.get(neighbor_id)
+        if r is None:
+            return
+        self.total -= self._n[r]
+        self._free_row(r)
+
+    def _append(self, r: int, x: float, y: float) -> None:
+        self._pairs[r].append((x, y))
+        self._n[r] += 1
+        self._sx[r] += x; self._sy[r] += y
+        self._sxx[r] += x * x; self._sxy[r] += x * y; self._syy[r] += y * y
+        self._fok[r] = self._bok[r] = self._pok[r] = False
+        self.total += 1
+
+    def _evict(self, r: int) -> None:
+        pairs = self._pairs[r]
+        ox, oy = pairs.popleft()
+        n0 = self._n[r]
+        sxx0 = self._sxx[r]; syy0 = self._syy[r]
+        # Same dominance rule as CacheLine.evict_oldest, checked on the
+        # pre-removal sums: a departing pair that carries most of a sum
+        # would cancel catastrophically under subtraction.
+        dominant = ox * ox > 0.5 * sxx0 or oy * oy > 0.5 * syy0
+        n0 -= 1
+        self._n[r] = n0
+        if n0 == 0:
+            self._sx[r] = self._sy[r] = 0.0
+            self._sxx[r] = self._sxy[r] = self._syy[r] = 0.0
+        else:
+            self._sx[r] -= ox; self._sy[r] -= oy
+            self._sxx[r] = sxx0 - ox * ox
+            self._sxy[r] -= ox * oy
+            self._syy[r] = syy0 - oy * oy
+        es = self._esync[r] + 1
+        if dominant or es >= _SYNC:
+            self._resync(r)
+        else:
+            self._esync[r] = es
+        self._fok[r] = self._bok[r] = self._pok[r] = False
+        self.total -= 1
+        if n0 == 0:
+            self._free_row(r)
+
+    def _resync(self, r: int) -> None:
+        # Left-to-right accumulation over the stored pairs: the exact
+        # order CacheLine._resync_stats (RegressionStats.from_pairs) uses.
+        sx = sy = sxx = sxy = syy = 0.0
+        for px, py in self._pairs[r]:
+            sx += px; sy += py
+            sxx += px * px; sxy += px * py; syy += py * py
+        self._sx[r] = sx; self._sy[r] = sy
+        self._sxx[r] = sxx; self._sxy[r] = sxy; self._syy[r] = syy
+        self._esync[r] = 0
+
+    # -- memoized §4 quantities ----------------------------------------------
+
+    @staticmethod
+    def _fit(n_, sx_, sy_, sxx_, sxy_):
+        # fit_coefficients inlined (same ops, same degenerate rule).
+        nsxx = n_ * sxx_; sxsx = sx_ * sx_
+        den = nsxx - sxsx
+        scale = nsxx if nsxx > sxsx else sxsx
+        if scale < 1.0:
+            scale = 1.0
+        if den <= _DEG * scale:
+            return 0.0, sy_ / n_
+        a = (n_ * sxy_ - sx_ * sy_) / den
+        return a, (sy_ - a * sx_) / n_
+
+    @staticmethod
+    def _batch_fit(n_, sx_, sy_, sxx_, sxy_):
+        # batch_fit_coefficients inlined (the original degeneracy rule).
+        den = n_ * sxx_ - sx_ * sx_
+        if abs(den) <= _DEG * max(1.0, n_ * sxx_, sx_ * sx_):
+            return 0.0, sy_ / n_
+        a = (n_ * sxy_ - sx_ * sy_) / den
+        return a, (sy_ - a * sx_) / n_
+
+    def fit(self, r: int) -> tuple[float, float]:
+        """The row's memoized ``(slope, intercept)``."""
+        if self._fok[r]:
+            return self._fa[r], self._fb[r]
+        n_ = self._n[r]
+        sx_ = self._sx[r]; sy_ = self._sy[r]
+        sxx_ = self._sxx[r]; sxy_ = self._sxy[r]
+        nsxx = n_ * sxx_; sxsx = sx_ * sx_
+        den = nsxx - sxsx
+        scale = nsxx if nsxx > sxsx else sxsx
+        if scale < 1.0:
+            scale = 1.0
+        if den <= _DEG * scale:
+            a = 0.0; b = sy_ / n_
+        else:
+            a = (n_ * sxy_ - sx_ * sy_) / den
+            b = (sy_ - a * sx_) / n_
+        self._fa[r] = a; self._fb[r] = b; self._fok[r] = True
+        return a, b
+
+    def benefit(self, r: int) -> float:
+        """The row's memoized §4 benefit over the no-answer policy."""
+        if self._bok[r]:
+            return self._ben[r]
+        n_ = self._n[r]
+        a, b = self.fit(r)
+        sx_ = self._sx[r]; sy_ = self._sy[r]
+        sxx_ = self._sxx[r]; sxy_ = self._sxy[r]; syy_ = self._syy[r]
+        mean_x = sx_ / n_; mean_y = sy_ / n_
+        cxx = sxx_ - sx_ * mean_x
+        cxy = sxy_ - sx_ * mean_y
+        cyy = syy_ - sy_ * mean_y
+        mr = mean_y - a * mean_x - b
+        tot = cyy - 2.0 * a * cxy + a * a * cxx + n_ * mr * mr
+        sse = tot if tot > 0.0 else 0.0
+        ben = ((syy_ if syy_ > 0.0 else 0.0) - sse) / n_
+        self._ben[r] = ben; self._bok[r] = True
+        return ben
+
+    def penalty(self, r: int) -> float:
+        """The row's memoized §4 eviction penalty."""
+        if self._pok[r]:
+            return self._pen[r]
+        n_ = self._n[r]
+        full = self.benefit(r)
+        if n_ == 1:
+            self._pen[r] = full; self._pok[r] = True
+            return full
+        sx_ = self._sx[r]; sy_ = self._sy[r]
+        sxx_ = self._sxx[r]; sxy_ = self._sxy[r]; syy_ = self._syy[r]
+        ox, oy = self._pairs[r][0]
+        if ox * ox > 0.5 * sxx_ or oy * oy > 0.5 * syy_:
+            rsx = rsy = rsxx = rsxy = 0.0
+            rn = 0
+            it = iter(self._pairs[r]); next(it)
+            for px, py in it:
+                rn += 1
+                rsx += px; rsy += py; rsxx += px * px; rsxy += px * py
+            a, b = self._fit(rn, rsx, rsy, rsxx, rsxy)
+        else:
+            a, b = self._fit(n_ - 1, sx_ - ox, sy_ - oy, sxx_ - ox * ox, sxy_ - ox * oy)
+        mean_x = sx_ / n_; mean_y = sy_ / n_
+        cxx = sxx_ - sx_ * mean_x
+        cxy = sxy_ - sx_ * mean_y
+        cyy = syy_ - sy_ * mean_y
+        mr = mean_y - a * mean_x - b
+        tot = cyy - 2.0 * a * cxy + a * a * cxx + n_ * mr * mr
+        rsse = tot if tot > 0.0 else 0.0
+        rben = ((syy_ if syy_ > 0.0 else 0.0) - rsse) / n_
+        pen = full - rben
+        scale = syy_ / n_
+        if pen < _RTOL * (scale if scale > 1.0 else 1.0):
+            pen = self._exact_penalty(r)
+        self._pen[r] = pen; self._pok[r] = True
+        return pen
+
+    # -- exact near-tie fallbacks (original batch arithmetic) ----------------
+
+    def _exact_penalty(self, r: int) -> float:
+        pairs = self._pairs[r]
+        n = len(pairs)
+        sx = sy = sxx = sxy = 0.0
+        sx_r = sy_r = sxx_r = sxy_r = 0.0
+        first = True
+        for px, py in pairs:
+            sx += px; sy += py; sxx += px * px; sxy += px * py
+            if first:
+                first = False
+            else:
+                sx_r += px; sy_r += py; sxx_r += px * px; sxy_r += px * py
+        a_f, b_f = self._batch_fit(n, sx, sy, sxx, sxy)
+        a_r, b_r = self._batch_fit(n - 1, sx_r, sy_r, sxx_r, sxy_r)
+        base = sse_f = sse_r = 0.0
+        for px, py in pairs:
+            base += py * py
+            t = py - (a_f * px + b_f); sse_f += t * t
+            t = py - (a_r * px + b_r); sse_r += t * t
+        base /= n
+        return (base - sse_f / n) - (base - sse_r / n)
+
+    def _exact_benefits(self, r: int, x: float, y: float) -> tuple[float, float, float]:
+        sx = sy = sxx = sxy = 0.0
+        first = True
+        sx_sh = sy_sh = sxx_sh = sxy_sh = 0.0
+        n = 0
+        pairs = self._pairs[r]
+        for px, py in pairs:
+            n += 1
+            sx += px; sy += py; sxx += px * px; sxy += px * py
+            if first:
+                first = False
+            else:
+                sx_sh += px; sy_sh += py; sxx_sh += px * px; sxy_sh += px * py
+        a_cur, b_cur = self._batch_fit(n, sx, sy, sxx, sxy)
+        a_sh, b_sh = self._batch_fit(n, sx_sh + x, sy_sh + y, sxx_sh + x * x, sxy_sh + x * y)
+        n_aug = n + 1
+        a_aug, b_aug = self._batch_fit(n_aug, sx + x, sy + y, sxx + x * x, sxy + x * y)
+        syy = 0.0
+        sse_cur = sse_sh = sse_aug = 0.0
+        for px, py in pairs:
+            syy += py * py
+            t = py - (a_cur * px + b_cur); sse_cur += t * t
+            t = py - (a_sh * px + b_sh); sse_sh += t * t
+            t = py - (a_aug * px + b_aug); sse_aug += t * t
+        syy += y * y
+        t = y - (a_cur * x + b_cur); sse_cur += t * t
+        t = y - (a_sh * x + b_sh); sse_sh += t * t
+        t = y - (a_aug * x + b_aug); sse_aug += t * t
+        baseline = syy / n_aug
+        return (baseline - sse_cur / n_aug, baseline - sse_sh / n_aug,
+                baseline - sse_aug / n_aug)
+
+    # -- the full-cache decision procedure ------------------------------------
+
+    def _decide(self, r: int, j: int, x: float, y: float) -> str:
+        n0 = self._n[r]
+        sx0 = self._sx[r]; sy0 = self._sy[r]
+        sxx0 = self._sxx[r]; sxy0 = self._sxy[r]; syy0 = self._syy[r]
+        xx = x * x; xy = x * y; yy = y * y
+        # c_aug: add-then-subtract order, exactly as _decide_full_cache.
+        n1 = n0 + 1
+        sx1 = sx0 + x; sy1 = sy0 + y
+        sxx1 = sxx0 + xx; sxy1 = sxy0 + xy; syy1 = syy0 + yy
+
+        ox, oy = self._pairs[r][0]
+        sxs = sx1 - ox; sys_ = sy1 - oy
+        sxxs = sxx1 - ox * ox; sxys = sxy1 - ox * oy
+
+        baseline = (syy1 if syy1 > 0.0 else 0.0) / n1
+        a_cur, b_cur = self.fit(r)
+        a_sh, b_sh = self._fit(n0, sxs, sys_, sxxs, sxys)
+        a_aug, b_aug = self._fit(n1, sx1, sy1, sxx1, sxy1)
+
+        # model_sse inlined: shared centered moments of c_aug.
+        mean_x = sx1 / n1; mean_y = sy1 / n1
+        cxx = sxx1 - sx1 * mean_x
+        cxy = sxy1 - sx1 * mean_y
+        cyy = syy1 - sy1 * mean_y
+
+        mr = mean_y - a_cur * mean_x - b_cur
+        tot = cyy - 2.0 * a_cur * cxy + a_cur * a_cur * cxx + n1 * mr * mr
+        sse_cur = tot if tot > 0.0 else 0.0
+        mr = mean_y - a_sh * mean_x - b_sh
+        tot = cyy - 2.0 * a_sh * cxy + a_sh * a_sh * cxx + n1 * mr * mr
+        sse_sh = tot if tot > 0.0 else 0.0
+        mr = mean_y - a_aug * mean_x - b_aug
+        tot = cyy - 2.0 * a_aug * cxy + a_aug * a_aug * cxx + n1 * mr * mr
+        sse_aug = tot if tot > 0.0 else 0.0
+
+        b_c = baseline - sse_cur / n1
+        b_s = baseline - sse_sh / n1
+        b_a = baseline - sse_aug / n1
+
+        near = _RTOL * (baseline if baseline > 1.0 else 1.0)
+        d_cs = b_c - b_s
+        d_ca = b_c - b_a
+        d_sa = b_s - b_a
+        if (-near < d_cs < near) or (-near < d_ca < near) or (-near < d_sa < near):
+            b_c, b_s, b_a = self._exact_benefits(r, x, y)
+
+        if b_c >= b_s and b_c >= b_a:
+            return "reject"
+        if b_s >= b_a:
+            self._evict(r)
+            if self._index.get(j) is None:  # eviction emptied the line
+                r = self._new_row(j)
+            self._append(r, x, y)
+            return "shift"
+        gain = b_a - b_s
+        victim = self._cheapest_victim(r, gain)
+        if victim is not None:
+            self._evict(victim)
+            self._append(r, x, y)
+            # Eager memo reuse: the augmented line's fit and benefit are
+            # the decision's aug values — pure functions of the same sums.
+            self._fa[r] = a_aug; self._fb[r] = b_aug; self._fok[r] = True
+            self._ben[r] = ((syy1 if syy1 > 0.0 else 0.0) - sse_aug) / n1
+            self._bok[r] = True
+            return "augment"
+        if b_s > b_c:
+            self._evict(r)
+            if self._index.get(j) is None:
+                r = self._new_row(j)
+            self._append(r, x, y)
+            return "shift"
+        return "reject"
+
+    def _cheapest_victim(self, exclude_row: int, below: float) -> Optional[int]:
+        # Flat scan over the dense rows.  With one row per neighbor
+        # (node degree, not cache size) this beats maintaining the
+        # scalar path's lazy heap — no allocation, no heap churn —
+        # and reproduces its lexicographic (penalty, id) minimum.
+        best_pen = None
+        best_id = -1
+        best_row = -1
+        n = self._n
+        ids = self._ids
+        pok = self._pok
+        pen = self._pen
+        for r in range(len(ids)):
+            i = ids[r]
+            if i < 0 or r == exclude_row or n[r] == 0:
+                continue
+            p = pen[r] if pok[r] else self.penalty(r)
+            if best_pen is None or p < best_pen or (p == best_pen and i < best_id):
+                best_pen = p; best_id = i; best_row = r
+        if best_pen is not None and best_pen < below:
+            return best_row
+        return None
+
+    def _newcomer(self, j: int, x: float, y: float) -> str:
+        candidates = sorted(
+            self._ids[r] for r in range(len(self._ids))
+            if self._ids[r] >= 0 and self._ids[r] != j and self._n[r] > 0
+        )
+        if not candidates:
+            return "reject"
+        victim = None
+        for k in candidates:
+            if k > self.rr_cursor:
+                victim = k
+                break
+        if victim is None:
+            victim = candidates[0]
+        self.rr_cursor = victim
+        self._evict(self._index[victim])
+        r = self._index.get(j)
+        if r is None:
+            r = self._new_row(j)
+        self._append(r, x, y)
+        return "newcomer"
+
+    # -- read surface for views, digests and tests ----------------------------
+
+    def pair_count(self, r: int) -> int:
+        return self._n[r]
+
+    def pairs(self, r: int) -> deque[tuple[float, float]]:
+        """The row's live pair ring, oldest first (no copy)."""
+        return self._pairs[r]
+
+    def sums(self, r: int) -> tuple[int, float, float, float, float, float]:
+        """``(n, Σx, Σy, Σx², Σxy, Σy²)`` of row ``r``."""
+        return (self._n[r], self._sx[r], self._sy[r],
+                self._sxx[r], self._sxy[r], self._syy[r])
+
+    def evictions_since_sync(self, r: int) -> int:
+        return self._esync[r]
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """The live rows' columns as contiguous numpy arrays.
+
+        A column-wise snapshot (``ids``, ``n``, ``sx`` … ``syy``) over
+        rows holding at least one pair, ordered by neighbor id — the
+        SoA view consumed by diagnostics and the property suite.
+        """
+        rows = [self._index[j] for j in self.neighbor_ids()]
+        return {
+            "ids": np.array([self._ids[r] for r in rows], dtype=np.int64),
+            "n": np.array([self._n[r] for r in rows], dtype=np.int64),
+            "sx": np.array([self._sx[r] for r in rows]),
+            "sy": np.array([self._sy[r] for r in rows]),
+            "sxx": np.array([self._sxx[r] for r in rows]),
+            "sxy": np.array([self._sxy[r] for r in rows]),
+            "syy": np.array([self._syy[r] for r in rows]),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"NeighborBlock(bytes={self.cache_bytes}, "
+            f"lines={len(self._index)}, pairs={self.total})"
+        )
+
+
+# ----------------------------------------------------------------------
+# the cross-cache fleet kernel
+# ----------------------------------------------------------------------
+
+
+def _vfit(n, sx, sy, sxx, sxy):
+    """Vectorized Lemma 1 fit; lane-for-lane the scalar ``fit_coefficients``.
+
+    Non-degenerate lanes compute ``b`` from the pre-``where`` slope, so
+    their bits match the scalar division sequence exactly; degenerate
+    lanes are overwritten by the ``where`` selects (the masked-out
+    divisions may raise IEEE flags, silenced by the caller's errstate).
+    """
+    nsxx = n * sxx
+    sxsx = sx * sx
+    den = nsxx - sxsx
+    scale = np.maximum(np.maximum(nsxx, sxsx), 1.0)
+    degen = den <= _DEG * scale
+    safe = np.where(degen, 1.0, den)
+    a = (n * sxy - sx * sy) / safe
+    b = (sy - a * sx) / n
+    a = np.where(degen, 0.0, a)
+    b = np.where(degen, sy / n, b)
+    return a, b
+
+
+def _vsse(n, cxx, cxy, cyy, mean_x, mean_y, a, b):
+    """Vectorized ``model_sse`` over precomputed centered moments.
+
+    The ``where`` clamp reproduces the scalar ``total if total > 0.0
+    else 0.0`` exactly, NaN included (NaN compares false → clamped to 0).
+    """
+    mr = mean_y - a * mean_x - b
+    tot = cyy - 2.0 * a * cxy + a * a * cxx + n * mr * mr
+    return np.where(tot > 0.0, tot, 0.0)
+
+
+class ModelAwareCacheFleet:
+    """``F`` independent §4 caches advanced in lock-step, lane-parallel.
+
+    Row ``c * max_lines + s`` holds slot ``s`` of cache ``c``; all
+    columns are contiguous numpy arrays over those rows.  One
+    :meth:`observe_batch` call advances every cache by one observation
+    — lane ``i`` feeds cache ``i`` — with the full-cache decision
+    procedure evaluated vectorized across lanes.  Because the lanes are
+    *independent caches*, a batch is trivially equivalent to running
+    each cache's scalar procedure in sequence: no lane reads or writes
+    another lane's rows.  Per-lane fallbacks (warmup fills, newcomers,
+    near-ties) drop to the scalar path row-wise.
+
+    This is the throughput kernel for fleet-scale simulation and the
+    ``vectorized`` line of ``BENCH_cache``; per-node caches inside the
+    simulator use :class:`NeighborBlock` through ``ModelAwareCache``.
+
+    Parameters
+    ----------
+    n_caches:
+        Number of independent caches (lanes).
+    cache_bytes:
+        Byte budget per cache (§6.1's 2,048 default elsewhere).
+    max_lines:
+        Line slots per cache — the maximum distinct neighbors a cache
+        can hold at once (node degree).
+    ring_cap:
+        Initial per-row ring capacity in pairs; grows by doubling.
+    """
+
+    def __init__(self, n_caches: int, cache_bytes: int,
+                 max_lines: int = 8, ring_cap: int = 64) -> None:
+        if n_caches <= 0:
+            raise ValueError(f"need at least one cache, got {n_caches}")
+        if max_lines <= 0:
+            raise ValueError(f"need at least one line slot, got {max_lines}")
+        F, S, C = int(n_caches), int(max_lines), int(ring_cap)
+        self.F, self.S, self.C = F, S, C
+        self.cache_bytes = int(cache_bytes)
+        self.capacity_pairs = pairs_for_budget(self.cache_bytes)
+        R = F * S
+        self.ids = np.full(R, -1, dtype=np.int64)
+        self.n = np.zeros(R, dtype=np.int64)
+        self.sx = np.zeros(R); self.sy = np.zeros(R)
+        self.sxx = np.zeros(R); self.sxy = np.zeros(R); self.syy = np.zeros(R)
+        self.fa = np.zeros(R); self.fb = np.zeros(R)
+        self.fok = np.zeros(R, dtype=bool)
+        self.ben = np.zeros(R); self.bok = np.zeros(R, dtype=bool)
+        self.pen = np.zeros(R); self.pok = np.zeros(R, dtype=bool)
+        self.esync = np.zeros(R, dtype=np.int64)
+        self.rx = np.zeros((R, C)); self.ry = np.zeros((R, C))
+        self.head = np.zeros(R, dtype=np.int64)
+        self.total = np.zeros(F, dtype=np.int64)
+        self.rr = np.full(F, -1, dtype=np.int64)
+        self.slot = [dict() for _ in range(F)]   # id -> slot within cache
+        # Dense id -> slot map: one int32 per (cache, id) enabling the
+        # batched lane dispatch gather; grown by doubling on demand.
+        self.idcap = 64
+        self.idmap = np.full((F, self.idcap), -1, dtype=np.int32)
+        self._arF = np.arange(F)
+
+    # -- scalar per-lane operations (warmup, newcomers, rare paths) ----------
+
+    def _row(self, c: int, j: int, make: bool = False) -> Optional[int]:
+        s = self.slot[c].get(j)
+        if s is None and make:
+            if j >= self.idcap:
+                cap = self.idcap
+                while j >= cap:
+                    cap *= 2
+                grown = np.full((self.F, cap), -1, dtype=np.int32)
+                grown[:, : self.idcap] = self.idmap
+                self.idmap = grown
+                self.idcap = cap
+            base = c * self.S
+            for k in range(self.S):
+                if self.ids[base + k] < 0:
+                    s = k
+                    break
+            if s is None:
+                raise ValueError(
+                    f"cache {c} already tracks {self.S} neighbors; "
+                    f"raise max_lines to admit neighbor {j}"
+                )
+            self.slot[c][j] = s
+            self.idmap[c, j] = s
+            r = base + s
+            self.ids[r] = j
+            self.n[r] = 0
+            self.sx[r] = self.sy[r] = 0.0
+            self.sxx[r] = self.sxy[r] = self.syy[r] = 0.0
+            self.fok[r] = self.bok[r] = self.pok[r] = False
+            self.esync[r] = 0
+            self.head[r] = 0
+        return None if s is None else c * self.S + s
+
+    def _free_row(self, c: int, r: int) -> None:
+        j = int(self.ids[r])
+        del self.slot[c][j]
+        self.idmap[c, j] = -1
+        self.ids[r] = -1
+        self.n[r] = 0
+
+    def _pairs(self, r: int) -> list[tuple[float, float]]:
+        n = int(self.n[r]); h = int(self.head[r]); C = self.C
+        idx = (h + np.arange(n)) % C
+        return list(zip(self.rx[r, idx].tolist(), self.ry[r, idx].tolist()))
+
+    def _append(self, c: int, r: int, x: float, y: float) -> None:
+        if self.n[r] >= self.C - 1:
+            self._grow_rings()
+        t = (self.head[r] + self.n[r]) % self.C
+        self.rx[r, t] = x; self.ry[r, t] = y
+        self.n[r] += 1
+        self.sx[r] += x; self.sy[r] += y
+        self.sxx[r] += x * x; self.sxy[r] += x * y; self.syy[r] += y * y
+        self.fok[r] = self.bok[r] = self.pok[r] = False
+        self.total[c] += 1
+
+    def _evict(self, c: int, r: int) -> None:
+        h = int(self.head[r])
+        ox = float(self.rx[r, h]); oy = float(self.ry[r, h])
+        n0 = int(self.n[r])
+        sxx0 = float(self.sxx[r]); syy0 = float(self.syy[r])
+        dominant = ox * ox > 0.5 * sxx0 or oy * oy > 0.5 * syy0
+        n0 -= 1
+        self.n[r] = n0
+        self.head[r] = (h + 1) % self.C
+        if n0 == 0:
+            self.sx[r] = self.sy[r] = 0.0
+            self.sxx[r] = self.sxy[r] = self.syy[r] = 0.0
+        else:
+            self.sx[r] -= ox; self.sy[r] -= oy
+            self.sxx[r] = sxx0 - ox * ox
+            self.sxy[r] -= ox * oy
+            self.syy[r] = syy0 - oy * oy
+        es = int(self.esync[r]) + 1
+        if dominant or es >= _SYNC:
+            self._resync_row(r)
+        else:
+            self.esync[r] = es
+        self.fok[r] = self.bok[r] = self.pok[r] = False
+        self.total[c] -= 1
+        if n0 == 0:
+            self._free_row(c, r)
+
+    def _resync_row(self, r: int) -> None:
+        sx = sy = sxx = sxy = syy = 0.0
+        for px, py in self._pairs(r):
+            sx += px; sy += py
+            sxx += px * px; sxy += px * py; syy += py * py
+        self.sx[r] = sx; self.sy[r] = sy
+        self.sxx[r] = sxx; self.sxy[r] = sxy; self.syy[r] = syy
+        self.esync[r] = 0
+
+    def _resync_rows(self, rows: np.ndarray) -> None:
+        """Batched exact resync: per-row prefix sums in ring order.
+
+        Row-wise ``cumsum`` accumulates left-to-right, so reading the
+        prefix at position ``n - 1`` is bit-identical to the scalar
+        sequential loop; ring slots past ``n - 1`` never enter that
+        prefix.
+        """
+        nr = self.n[rows]
+        k = np.arange(int(nr.max()))
+        idx = (self.head[rows][:, None] + k[None, :]) % self.C
+        px = self.rx[rows[:, None], idx]
+        py = self.ry[rows[:, None], idx]
+        ii = np.arange(rows.size)
+        last = nr - 1
+        self.sx[rows] = px.cumsum(axis=1)[ii, last]
+        self.sy[rows] = py.cumsum(axis=1)[ii, last]
+        self.sxx[rows] = (px * px).cumsum(axis=1)[ii, last]
+        self.sxy[rows] = (px * py).cumsum(axis=1)[ii, last]
+        self.syy[rows] = (py * py).cumsum(axis=1)[ii, last]
+        self.esync[rows] = 0
+
+    def _grow_rings(self) -> None:
+        # Double capacity, straightening every ring to head 0 (a pure
+        # relayout: pair order and all sums are untouched).
+        C, C2 = self.C, self.C * 2
+        R = self.rx.shape[0]
+        idx = (self.head[:, None] + np.arange(C)[None, :]) % C
+        rx = np.zeros((R, C2)); ry = np.zeros((R, C2))
+        rx[:, :C] = np.take_along_axis(self.rx, idx, axis=1)
+        ry[:, :C] = np.take_along_axis(self.ry, idx, axis=1)
+        self.rx = rx; self.ry = ry
+        self.head[:] = 0
+        self.C = C2
+
+    _fit = staticmethod(NeighborBlock._fit)
+    _batch_fit = staticmethod(NeighborBlock._batch_fit)
+
+    def _current_fit(self, r: int) -> tuple[float, float]:
+        if self.fok[r]:
+            return float(self.fa[r]), float(self.fb[r])
+        a, b = self._fit(int(self.n[r]), float(self.sx[r]), float(self.sy[r]),
+                         float(self.sxx[r]), float(self.sxy[r]))
+        self.fa[r] = a; self.fb[r] = b; self.fok[r] = True
+        return a, b
+
+    def _benefit_scalar(self, r: int) -> float:
+        if self.bok[r]:
+            return float(self.ben[r])
+        n_ = int(self.n[r])
+        a, b = self._current_fit(r)
+        sx_ = float(self.sx[r]); sy_ = float(self.sy[r])
+        sxx_ = float(self.sxx[r]); sxy_ = float(self.sxy[r]); syy_ = float(self.syy[r])
+        mean_x = sx_ / n_; mean_y = sy_ / n_
+        cxx = sxx_ - sx_ * mean_x; cxy = sxy_ - sx_ * mean_y; cyy = syy_ - sy_ * mean_y
+        mr = mean_y - a * mean_x - b
+        tot = cyy - 2.0 * a * cxy + a * a * cxx + n_ * mr * mr
+        sse = tot if tot > 0.0 else 0.0
+        ben = ((syy_ if syy_ > 0.0 else 0.0) - sse) / n_
+        self.ben[r] = ben; self.bok[r] = True
+        return ben
+
+    def _penalty_scalar(self, r: int) -> float:
+        if self.pok[r]:
+            return float(self.pen[r])
+        n_ = int(self.n[r])
+        full = self._benefit_scalar(r)
+        if n_ == 1:
+            self.pen[r] = full; self.pok[r] = True
+            return full
+        sx_ = float(self.sx[r]); sy_ = float(self.sy[r])
+        sxx_ = float(self.sxx[r]); sxy_ = float(self.sxy[r]); syy_ = float(self.syy[r])
+        h = int(self.head[r])
+        ox = float(self.rx[r, h]); oy = float(self.ry[r, h])
+        if ox * ox > 0.5 * sxx_ or oy * oy > 0.5 * syy_:
+            pairs = self._pairs(r)[1:]
+            rn = len(pairs)
+            rsx = rsy = rsxx = rsxy = 0.0
+            for px, py in pairs:
+                rsx += px; rsy += py; rsxx += px * px; rsxy += px * py
+            a, b = self._fit(rn, rsx, rsy, rsxx, rsxy)
+        else:
+            a, b = self._fit(n_ - 1, sx_ - ox, sy_ - oy, sxx_ - ox * ox, sxy_ - ox * oy)
+        mean_x = sx_ / n_; mean_y = sy_ / n_
+        cxx = sxx_ - sx_ * mean_x; cxy = sxy_ - sx_ * mean_y; cyy = syy_ - sy_ * mean_y
+        mr = mean_y - a * mean_x - b
+        tot = cyy - 2.0 * a * cxy + a * a * cxx + n_ * mr * mr
+        rsse = tot if tot > 0.0 else 0.0
+        rben = ((syy_ if syy_ > 0.0 else 0.0) - rsse) / n_
+        p = full - rben
+        scale = syy_ / n_
+        if p < _RTOL * (scale if scale > 1.0 else 1.0):
+            p = self._exact_penalty(r)
+        self.pen[r] = p; self.pok[r] = True
+        return p
+
+    def _exact_penalty(self, r: int) -> float:
+        pairs = self._pairs(r)
+        n = len(pairs)
+        sx = sy = sxx = sxy = 0.0
+        sx_r = sy_r = sxx_r = sxy_r = 0.0
+        first = True
+        for px, py in pairs:
+            sx += px; sy += py; sxx += px * px; sxy += px * py
+            if first:
+                first = False
+            else:
+                sx_r += px; sy_r += py; sxx_r += px * px; sxy_r += px * py
+        a_f, b_f = self._batch_fit(n, sx, sy, sxx, sxy)
+        a_r, b_r = self._batch_fit(n - 1, sx_r, sy_r, sxx_r, sxy_r)
+        base = sse_f = sse_r = 0.0
+        for px, py in pairs:
+            base += py * py
+            t = py - (a_f * px + b_f); sse_f += t * t
+            t = py - (a_r * px + b_r); sse_r += t * t
+        base /= n
+        return (base - sse_f / n) - (base - sse_r / n)
+
+    def _exact_benefits(self, r: int, x: float, y: float) -> tuple[float, float, float]:
+        pairs = self._pairs(r)
+        sx = sy = sxx = sxy = 0.0
+        first = True
+        sx_sh = sy_sh = sxx_sh = sxy_sh = 0.0
+        n = 0
+        for px, py in pairs:
+            n += 1
+            sx += px; sy += py; sxx += px * px; sxy += px * py
+            if first:
+                first = False
+            else:
+                sx_sh += px; sy_sh += py; sxx_sh += px * px; sxy_sh += px * py
+        a_cur, b_cur = self._batch_fit(n, sx, sy, sxx, sxy)
+        a_sh, b_sh = self._batch_fit(n, sx_sh + x, sy_sh + y, sxx_sh + x * x, sxy_sh + x * y)
+        n_aug = n + 1
+        a_aug, b_aug = self._batch_fit(n_aug, sx + x, sy + y, sxx + x * x, sxy + x * y)
+        syy = 0.0
+        sse_cur = sse_sh = sse_aug = 0.0
+        for px, py in pairs:
+            syy += py * py
+            t = py - (a_cur * px + b_cur); sse_cur += t * t
+            t = py - (a_sh * px + b_sh); sse_sh += t * t
+            t = py - (a_aug * px + b_aug); sse_aug += t * t
+        syy += y * y
+        t = y - (a_cur * x + b_cur); sse_cur += t * t
+        t = y - (a_sh * x + b_sh); sse_sh += t * t
+        t = y - (a_aug * x + b_aug); sse_aug += t * t
+        baseline = syy / n_aug
+        return (baseline - sse_cur / n_aug, baseline - sse_sh / n_aug,
+                baseline - sse_aug / n_aug)
+
+    def observe(self, c: int, j: int, x: float, y: float) -> str:
+        """Scalar single-cache observe (warmup and fallback path)."""
+        x = float(x); y = float(y)
+        r = self._row(c, j)
+        if self.total[c] < self.capacity_pairs:
+            if r is None:
+                r = self._row(c, j, make=True)
+            self._append(c, r, x, y)
+            return "append"
+        if r is None or self.n[r] == 0:
+            return self._newcomer(c, j, x, y)
+        return self._decide(c, r, j, x, y)
+
+    def _newcomer(self, c: int, j: int, x: float, y: float) -> str:
+        base = c * self.S
+        cands = sorted(
+            int(self.ids[base + k]) for k in range(self.S)
+            if self.ids[base + k] >= 0 and self.ids[base + k] != j and self.n[base + k] > 0
+        )
+        if not cands:
+            return "reject"
+        victim = None
+        for k in cands:
+            if k > self.rr[c]:
+                victim = k
+                break
+        if victim is None:
+            victim = cands[0]
+        self.rr[c] = victim
+        self._evict(c, base + self.slot[c][victim])
+        r = self._row(c, j, make=True)
+        self._append(c, r, x, y)
+        return "newcomer"
+
+    def _decide(self, c: int, r: int, j: int, x: float, y: float) -> str:
+        n0 = int(self.n[r])
+        sx0 = float(self.sx[r]); sy0 = float(self.sy[r])
+        sxx0 = float(self.sxx[r]); sxy0 = float(self.sxy[r]); syy0 = float(self.syy[r])
+        xx = x * x; xy = x * y; yy = y * y
+        n1 = n0 + 1
+        sx1 = sx0 + x; sy1 = sy0 + y
+        sxx1 = sxx0 + xx; sxy1 = sxy0 + xy; syy1 = syy0 + yy
+        h = int(self.head[r])
+        ox = float(self.rx[r, h]); oy = float(self.ry[r, h])
+        sxs = sx1 - ox; sys_ = sy1 - oy
+        sxxs = sxx1 - ox * ox; sxys = sxy1 - ox * oy
+        baseline = (syy1 if syy1 > 0.0 else 0.0) / n1
+        a_cur, b_cur = self._current_fit(r)
+        a_sh, b_sh = self._fit(n0, sxs, sys_, sxxs, sxys)
+        a_aug, b_aug = self._fit(n1, sx1, sy1, sxx1, sxy1)
+        mean_x = sx1 / n1; mean_y = sy1 / n1
+        cxx = sxx1 - sx1 * mean_x; cxy = sxy1 - sx1 * mean_y; cyy = syy1 - sy1 * mean_y
+        mr = mean_y - a_cur * mean_x - b_cur
+        tot = cyy - 2.0 * a_cur * cxy + a_cur * a_cur * cxx + n1 * mr * mr
+        sse_cur = tot if tot > 0.0 else 0.0
+        mr = mean_y - a_sh * mean_x - b_sh
+        tot = cyy - 2.0 * a_sh * cxy + a_sh * a_sh * cxx + n1 * mr * mr
+        sse_sh = tot if tot > 0.0 else 0.0
+        mr = mean_y - a_aug * mean_x - b_aug
+        tot = cyy - 2.0 * a_aug * cxy + a_aug * a_aug * cxx + n1 * mr * mr
+        sse_aug = tot if tot > 0.0 else 0.0
+        b_c = baseline - sse_cur / n1
+        b_s = baseline - sse_sh / n1
+        b_a = baseline - sse_aug / n1
+        near = _RTOL * (baseline if baseline > 1.0 else 1.0)
+        d_cs = b_c - b_s; d_ca = b_c - b_a; d_sa = b_s - b_a
+        if (-near < d_cs < near) or (-near < d_ca < near) or (-near < d_sa < near):
+            b_c, b_s, b_a = self._exact_benefits(r, x, y)
+        if b_c >= b_s and b_c >= b_a:
+            return "reject"
+        if b_s >= b_a:
+            self._evict(c, r)
+            r = self._row(c, j, make=True)  # re-create if eviction emptied it
+            self._append(c, r, x, y)
+            return "shift"
+        gain = b_a - b_s
+        victim = self._cheapest_victim(c, r, gain)
+        if victim is not None:
+            self._evict(c, victim)
+            self._append(c, r, x, y)
+            self.fa[r] = a_aug; self.fb[r] = b_aug; self.fok[r] = True
+            self.ben[r] = ((syy1 if syy1 > 0.0 else 0.0) - sse_aug) / n1
+            self.bok[r] = True
+            return "augment"
+        if b_s > b_c:
+            self._evict(c, r)
+            r = self._row(c, j, make=True)
+            self._append(c, r, x, y)
+            return "shift"
+        return "reject"
+
+    def _cheapest_victim(self, c: int, exclude_row: int, below: float) -> Optional[int]:
+        base = c * self.S
+        best_pen = None; best_id = -1; best_row = -1
+        for k in range(self.S):
+            r = base + k
+            i = int(self.ids[r])
+            if i < 0 or r == exclude_row or self.n[r] == 0:
+                continue
+            p = float(self.pen[r]) if self.pok[r] else self._penalty_scalar(r)
+            if best_pen is None or p < best_pen or (p == best_pen and i < best_id):
+                best_pen = p; best_id = i; best_row = r
+        if best_pen is not None and best_pen < below:
+            return best_row
+        return None
+
+    # -- the vectorized batch step --------------------------------------------
+
+    def observe_batch(self, neighbor_ids, own_values, neighbor_values) -> np.ndarray:
+        """Advance every cache by one observation; lane ``i`` → cache ``i``.
+
+        Returns an int8 array of :data:`ACTION_CODES` per lane.  Lanes
+        whose cache is not yet full, or whose neighbor has no line
+        (newcomers), fall back to the scalar per-lane path; everything
+        else — candidate scoring, victim selection, eviction, append,
+        memo refresh — runs column-wise across the fast lanes.
+        """
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return self._observe_batch(neighbor_ids, own_values, neighbor_values)
+
+    def _observe_batch(self, js, xs, ys) -> np.ndarray:
+        F, S, C = self.F, self.S, self.C
+        js = np.asarray(js, dtype=np.int64)
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if js.shape != (F,) or xs.shape != (F,) or ys.shape != (F,):
+            raise ValueError(
+                f"observe_batch wants one observation per cache "
+                f"(shape ({F},)), got {js.shape}/{xs.shape}/{ys.shape}"
+            )
+        # Lane dispatch: dense id->slot gather; slow lanes (cache not yet
+        # full, or unknown/empty line) take the scalar path one by one.
+        slot = self.idmap[self._arF, np.minimum(js, self.idcap - 1)]
+        slot = np.where(js < self.idcap, slot, -1)
+        fast = (slot >= 0) & (self.total >= self.capacity_pairs)
+        rows = self._arF * S + slot
+        actions = np.zeros(F, dtype=np.int8)  # 0 = reject
+        slow = np.flatnonzero(~fast)
+        for c in slow:
+            actions[c] = ACTION_CODES[
+                self.observe(int(c), int(js[c]), float(xs[c]), float(ys[c]))
+            ]
+        if not fast.any():
+            return actions
+        fr = rows[fast]
+        x = xs[fast]; y = ys[fast]
+        n0 = self.n[fr]
+        sx0 = self.sx[fr]; sy0 = self.sy[fr]
+        sxx0 = self.sxx[fr]; sxy0 = self.sxy[fr]; syy0 = self.syy[fr]
+        xx = x * x; xy = x * y; yy = y * y
+        n1 = n0 + 1
+        n1f = n1.astype(np.float64)
+        sx1 = sx0 + x; sy1 = sy0 + y
+        sxx1 = sxx0 + xx; sxy1 = sxy0 + xy; syy1 = syy0 + yy
+        h = self.head[fr]
+        ox = self.rx[fr, h]; oy = self.ry[fr, h]
+        sxs = sx1 - ox; sys_ = sy1 - oy
+        sxxs = sxx1 - ox * ox; sxys = sxy1 - ox * oy
+        baseline = np.where(syy1 > 0.0, syy1, 0.0) / n1f
+
+        # current fit: refresh stale rows with a vectorized scatter
+        n0f = n0.astype(np.float64)
+        stale_fit = ~self.fok[fr]
+        if stale_fit.any():
+            sf = fr[stale_fit]
+            a_f, b_f = _vfit(n0f[stale_fit], sx0[stale_fit], sy0[stale_fit],
+                             sxx0[stale_fit], sxy0[stale_fit])
+            self.fa[sf] = a_f; self.fb[sf] = b_f; self.fok[sf] = True
+        a_cur = self.fa[fr]; b_cur = self.fb[fr]
+
+        a_sh, b_sh = _vfit(n0f, sxs, sys_, sxxs, sxys)
+        a_aug, b_aug = _vfit(n1f, sx1, sy1, sxx1, sxy1)
+
+        mean_x = sx1 / n1f; mean_y = sy1 / n1f
+        cxx = sxx1 - sx1 * mean_x; cxy = sxy1 - sx1 * mean_y; cyy = syy1 - sy1 * mean_y
+        sse_cur = _vsse(n1f, cxx, cxy, cyy, mean_x, mean_y, a_cur, b_cur)
+        sse_sh = _vsse(n1f, cxx, cxy, cyy, mean_x, mean_y, a_sh, b_sh)
+        sse_aug = _vsse(n1f, cxx, cxy, cyy, mean_x, mean_y, a_aug, b_aug)
+
+        b_c = baseline - sse_cur / n1f
+        b_s = baseline - sse_sh / n1f
+        b_a = baseline - sse_aug / n1f
+
+        # Near-tie lanes re-score with the exact batch arithmetic, the
+        # same condition pair-for-pair as the scalar decision.
+        near = _RTOL * np.where(baseline > 1.0, baseline, 1.0)
+        d_cs = b_c - b_s; d_ca = b_c - b_a; d_sa = b_s - b_a
+        tie = (((d_cs > -near) & (d_cs < near))
+               | ((d_ca > -near) & (d_ca < near))
+               | ((d_sa > -near) & (d_sa < near)))
+        if tie.any():
+            for i in np.flatnonzero(tie):
+                bc, bs, ba = self._exact_benefits(int(fr[i]), float(x[i]), float(y[i]))
+                b_c[i] = bc; b_s[i] = bs; b_a[i] = ba
+
+        reject = (b_c >= b_s) & (b_c >= b_a)
+        shift = ~reject & (b_s >= b_a)
+        augment = ~reject & ~shift
+
+        fidx = np.flatnonzero(fast)  # cache index per fast lane
+        # Augment lanes: refresh every stale penalty fleet-wide (they
+        # all feed some lane's victim scan), then select victims as a
+        # masked lexicographic (penalty, id) minimum per lane.
+        aug_lanes = np.flatnonzero(augment)
+        aug_apply = np.empty(0, dtype=np.int64)
+        vict_rows = np.empty(0, dtype=np.int64)
+        if aug_lanes.size:
+            stale = np.flatnonzero((~self.pok) & (self.ids >= 0) & (self.n > 0))
+            if stale.size:
+                self._refresh_penalties(stale)
+            cA = fidx[aug_lanes]
+            rA = fr[aug_lanes]
+            gain = b_a[aug_lanes] - b_s[aug_lanes]
+            idsC = self.ids.reshape(F, S)[cA]
+            nC = self.n.reshape(F, S)[cA]
+            penC = self.pen.reshape(F, S)[cA]
+            valid = (idsC >= 0) & (nC > 0)
+            valid[np.arange(cA.size), rA - cA * S] = False
+            penC[~valid] = np.inf
+            minp = penC.min(axis=1)
+            BIG = np.int64(2) ** 62
+            vid = np.where(valid & (penC == minp[:, None]), idsC, BIG).min(axis=1)
+            hasv = minp < gain
+            vslot = np.where(idsC == vid[:, None], np.arange(S), S).min(axis=1)
+            aug_apply = aug_lanes[hasv]
+            vict_rows = (cA * S + vslot)[hasv]
+            nov = aug_lanes[~hasv]
+            if nov.size:
+                # No affordable victim: shift if it still beats current.
+                sh_extra = nov[b_s[nov] > b_c[nov]]
+                shift[sh_extra] = True
+
+        shift_lanes = np.flatnonzero(shift)
+        shift_rows = fr[shift_lanes]
+        # Vectorized evict: shift rows evict their own oldest pair,
+        # augment lanes evict the victim's.  All rows are distinct (one
+        # lane per cache), so the column updates cannot conflict.
+        E = np.concatenate([shift_rows, vict_rows])
+        if E.size:
+            hE = self.head[E]
+            oxE = self.rx[E, hE]; oyE = self.ry[E, hE]
+            sxxE = self.sxx[E]; syyE = self.syy[E]
+            dom = (oxE * oxE > 0.5 * sxxE) | (oyE * oyE > 0.5 * syyE)
+            nE = self.n[E] - 1
+            self.n[E] = nE
+            self.head[E] = (hE + 1) % C
+            empt = nE == 0
+            self.sx[E] -= oxE; self.sy[E] -= oyE
+            self.sxx[E] = sxxE - oxE * oxE
+            self.sxy[E] -= oxE * oyE
+            self.syy[E] = syyE - oyE * oyE
+            esE = self.esync[E] + 1
+            self.esync[E] = esE
+            self.fok[E] = False; self.bok[E] = False; self.pok[E] = False
+            if empt.any():
+                ze = E[empt]
+                self.sx[ze] = 0.0; self.sy[ze] = 0.0
+                self.sxx[ze] = 0.0; self.sxy[ze] = 0.0; self.syy[ze] = 0.0
+                self.esync[ze] = 0
+                # Victim rows that emptied: the line is deleted (slot
+                # freed).  Shift rows that emptied: the scalar path
+                # deletes then immediately recreates the line for the
+                # same id, so keeping the zeroed row is the same state.
+                n_shift = shift_rows.size
+                for k in np.flatnonzero(empt):
+                    if k >= n_shift:
+                        r = int(E[k])
+                        self._free_row(r // S, r)
+            rs = E[(dom | (esE >= _SYNC)) & ~empt]
+            if rs.size:
+                self._resync_rows(rs)
+
+        # Vectorized append of the new pair to each applying lane's row.
+        apply_lanes = np.concatenate([shift_lanes, aug_apply])
+        if apply_lanes.size:
+            P = fr[apply_lanes]
+            if (self.n[P] >= C - 1).any():
+                self._grow_rings()
+                C = self.C
+            xP = x[apply_lanes]; yP = y[apply_lanes]
+            t = (self.head[P] + self.n[P]) % C
+            self.rx[P, t] = xP; self.ry[P, t] = yP
+            self.n[P] += 1
+            self.sx[P] += xP; self.sy[P] += yP
+            self.sxx[P] += xP * xP; self.sxy[P] += xP * yP; self.syy[P] += yP * yP
+            self.fok[P] = False; self.bok[P] = False; self.pok[P] = False
+        if aug_apply.size:
+            ar = fr[aug_apply]
+            n1a = n1f[aug_apply]
+            self.fa[ar] = a_aug[aug_apply]; self.fb[ar] = b_aug[aug_apply]
+            self.fok[ar] = True
+            s1 = syy1[aug_apply]
+            s1c = np.where(s1 > 0.0, s1, 0.0)
+            ben_a = (s1c - sse_aug[aug_apply]) / n1a
+            self.ben[ar] = ben_a
+            self.bok[ar] = True
+            # Eager penalty: the augmented line's reduced fit equals the
+            # decision's shift fit bit-for-bit (same sums, same ops) and
+            # its reduced SSE equals sse_sh — so the penalty is free
+            # unless the oldest pair is dominant or the value is near
+            # zero (those rows stay stale and take the exact scalar
+            # path at the next victim scan).
+            oxa = ox[aug_apply]; oya = oy[aug_apply]
+            dom_a = (oxa * oxa > 0.5 * sxx1[aug_apply]) | (oya * oya > 0.5 * s1)
+            p = ben_a - (s1c - sse_sh[aug_apply]) / n1a
+            scale = s1 / n1a
+            nz = p < _RTOL * np.where(scale > 1.0, scale, 1.0)
+            okp = ~(dom_a | nz)
+            pr_ = ar[okp]
+            self.pen[pr_] = p[okp]; self.pok[pr_] = True
+
+        actions[fidx[shift_lanes]] = ACTION_CODES["shift"]
+        actions[fidx[aug_apply]] = ACTION_CODES["augment"]
+        return actions
+
+    def _refresh_penalties(self, rows: np.ndarray) -> None:
+        """Vectorized eviction-penalty refresh for the given rows."""
+        n_ = self.n[rows].astype(np.float64)
+        sx_ = self.sx[rows]; sy_ = self.sy[rows]
+        sxx_ = self.sxx[rows]; sxy_ = self.sxy[rows]; syy_ = self.syy[rows]
+        # full benefit: the current fit must be fresh first
+        stale_fit = ~self.fok[rows]
+        if stale_fit.any():
+            a_f, b_f = _vfit(n_[stale_fit], sx_[stale_fit], sy_[stale_fit],
+                             sxx_[stale_fit], sxy_[stale_fit])
+            sf = rows[stale_fit]
+            self.fa[sf] = a_f; self.fb[sf] = b_f; self.fok[sf] = True
+        a = self.fa[rows]; b = self.fb[rows]
+        mean_x = sx_ / n_; mean_y = sy_ / n_
+        cxx = sxx_ - sx_ * mean_x; cxy = sxy_ - sx_ * mean_y; cyy = syy_ - sy_ * mean_y
+        stale_ben = ~self.bok[rows]
+        syyc = np.where(syy_ > 0.0, syy_, 0.0)
+        if stale_ben.any():
+            sse = _vsse(n_, cxx, cxy, cyy, mean_x, mean_y, a, b)
+            full = (syyc - sse) / n_
+            sb = rows[stale_ben]
+            self.ben[sb] = full[stale_ben]; self.bok[sb] = True
+        full = self.ben[rows]
+        h = self.head[rows]
+        ox = self.rx[rows, h]; oy = self.ry[rows, h]
+        dominant = (ox * ox > 0.5 * sxx_) | (oy * oy > 0.5 * syy_)
+        a_r, b_r = _vfit(n_ - 1.0, sx_ - ox, sy_ - oy, sxx_ - ox * ox, sxy_ - ox * oy)
+        rsse = _vsse(n_, cxx, cxy, cyy, mean_x, mean_y, a_r, b_r)
+        rben = (syyc - rsse) / n_
+        p = full - rben
+        scale = syy_ / n_
+        near_zero = p < _RTOL * np.where(scale > 1.0, scale, 1.0)
+        single = self.n[rows] == 1
+        self.pen[rows] = np.where(single, full, p)
+        self.pok[rows] = True
+        exact = (~single) & (~dominant) & near_zero
+        dmask = (~single) & dominant
+        if dmask.any():
+            # Dominant oldest pair: the reduced fit is rebuilt from the
+            # actual pairs excluding the oldest, prefix-summed in ring
+            # order starting at head + 1 (cumsum-all-then-subtract
+            # would differ in the last bits).
+            sub = rows[dmask]
+            nr = self.n[sub]
+            last = nr - 2
+            k = np.arange(int(last.max()) + 1)
+            idx = (self.head[sub][:, None] + 1 + k[None, :]) % self.C
+            px = self.rx[sub[:, None], idx]
+            py = self.ry[sub[:, None], idx]
+            ii = np.arange(sub.size)
+            rsx = px.cumsum(axis=1)[ii, last]
+            rsy = py.cumsum(axis=1)[ii, last]
+            rsxx = (px * px).cumsum(axis=1)[ii, last]
+            rsxy = (px * py).cumsum(axis=1)[ii, last]
+            a_r2, b_r2 = _vfit((nr - 1).astype(np.float64), rsx, rsy, rsxx, rsxy)
+            rsse2 = _vsse(n_[dmask], cxx[dmask], cxy[dmask], cyy[dmask],
+                          mean_x[dmask], mean_y[dmask], a_r2, b_r2)
+            rben2 = (syyc[dmask] - rsse2) / n_[dmask]
+            p2 = full[dmask] - rben2
+            sc2 = scale[dmask]
+            nz2 = p2 < _RTOL * np.where(sc2 > 1.0, sc2, 1.0)
+            ok2 = ~nz2
+            self.pen[sub[ok2]] = p2[ok2]
+            exact_rows = np.concatenate(
+                [np.flatnonzero(exact), np.flatnonzero(dmask)[nz2]]
+            )
+        else:
+            exact_rows = np.flatnonzero(exact)
+        for i in exact_rows:
+            r = int(rows[i])
+            self.pen[r] = self._exact_penalty(r)
+
+    # -- read surface ---------------------------------------------------------
+
+    def known_neighbors(self, c: int) -> list[int]:
+        """Neighbors of cache ``c`` with at least one stored pair."""
+        base = c * self.S
+        return sorted(
+            j for j, s in self.slot[c].items() if self.n[base + s] > 0
+        )
+
+    def cache_state(self, c: int) -> dict:
+        """Canonical per-cache state for tests and digests.
+
+        ``{"lines": {id: (pairs, sums, evictions_since_sync)},
+        "total": pairs, "rr_cursor": id}`` — the same shape the per-node
+        engines canonicalize to, so cross-engine equality is a dict
+        comparison.
+        """
+        lines = {}
+        for j in self.known_neighbors(c):
+            r = c * self.S + self.slot[c][j]
+            lines[j] = (
+                tuple(self._pairs(r)),
+                (int(self.n[r]), float(self.sx[r]), float(self.sy[r]),
+                 float(self.sxx[r]), float(self.sxy[r]), float(self.syy[r])),
+                int(self.esync[r]),
+            )
+        return {
+            "lines": lines,
+            "total": int(self.total[c]),
+            "rr_cursor": int(self.rr[c]),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ModelAwareCacheFleet(caches={self.F}, bytes={self.cache_bytes}, "
+            f"max_lines={self.S}, pairs={int(self.total.sum())})"
+        )

@@ -248,7 +248,9 @@ class Radio:
     def _schedule_batch(
         self, message: Message, pending: list[tuple[NetworkNode, bool]]
     ) -> None:
-        self.simulator.schedule(
+        # Deliveries are never cancelled, so they ride the allocation-free
+        # transient slab instead of carrying an Event handle.
+        self.simulator.schedule_transient(
             self.latency,
             partial(self._deliver_batch, message, pending),
             label=f"deliver:{message.kind}",
@@ -272,7 +274,7 @@ class Radio:
     def _schedule_delivery(
         self, receiver: NetworkNode, message: Message, overheard: bool
     ) -> None:
-        self.simulator.schedule(
+        self.simulator.schedule_transient(
             self.latency,
             partial(self._deliver, receiver, message, overheard),
             label=f"deliver:{message.kind}",

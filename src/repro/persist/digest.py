@@ -180,15 +180,24 @@ def _hexdigest(obj: Any) -> str:
 # ----------------------------------------------------------------------
 
 
-def _event_entry(entry: tuple) -> tuple:
-    time, priority, seq, event = entry
+def _event_entry(queue: Any, entry: tuple) -> tuple:
+    time, priority, seq, tail = entry
+    if isinstance(tail, int):  # transient slab slot — never cancellable
+        return (
+            time,
+            priority,
+            seq,
+            queue._slab_label[tail],
+            False,
+            callback_descriptor(queue._slab_callback[tail]),
+        )
     return (
         time,
         priority,
         seq,
-        event.label,
-        event.cancelled,
-        callback_descriptor(event.callback),
+        tail.label,
+        tail.cancelled,
+        callback_descriptor(tail.callback),
     )
 
 
@@ -202,7 +211,10 @@ def _digest_simulator(sim: Any) -> dict[str, str]:
             (
                 counter_value,
                 len(sim.queue),
-                tuple(_event_entry(e) for e in sorted(sim.queue._heap, key=lambda e: e[:3])),
+                tuple(
+                    _event_entry(sim.queue, e)
+                    for e in sorted(sim.queue._heap, key=lambda e: e[:3])
+                ),
             )
         ),
         "rng": _hexdigest(
@@ -270,34 +282,12 @@ def _digest_node(node: Any) -> tuple:
     )
 
 
-def _digest_line(line: Any) -> tuple:
-    st = line._stats
-    return (
-        line.neighbor_id,
-        tuple(line._pairs),
-        (st.n, st.sum_x, st.sum_y, st.sum_xx, st.sum_xy, st.sum_yy),
-        line._evictions_since_sync,
-    )
-
-
 def _digest_policy(policy: Any) -> tuple:
-    base = (
-        type(policy).__qualname__,
-        policy.cache_bytes,
-        policy._total_pairs,
-        {j: _digest_line(line) for j, line in policy._lines.items()},
-    )
-    extra: tuple = ()
-    if hasattr(policy, "_victim_heap"):  # ModelAwareCache
-        extra = (
-            dict(policy._penalties),
-            tuple(sorted(policy._victim_heap)),
-            frozenset(policy._dirty),
-            policy._rr_cursor,
-        )
-    elif hasattr(policy, "_insertion_order"):  # RoundRobinCache
-        extra = (tuple(policy._insertion_order),)
-    return base + extra
+    # The policy canonicalizes itself: stored pairs, live sufficient
+    # sums and decision cursors, with derived memo caches omitted —
+    # so scalar and struct-of-arrays backing stores digest equal
+    # exactly when they will behave identically.
+    return policy.digest_state()
 
 
 def _describe_loss(model: Any) -> tuple:

@@ -173,6 +173,28 @@ class Simulator:
         event = Event(time=time, callback=callback, label=label, priority=priority)
         return self.queue.push(event)
 
+    def schedule_transient(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        label: str = "",
+        priority: int = 0,
+    ) -> None:
+        """Schedule a fire-and-forget callback ``delay`` units from now.
+
+        No :class:`Event` handle is created, so the occurrence cannot be
+        cancelled — the right shape for the hot high-volume paths
+        (message deliveries) where nothing ever holds a reference.  The
+        entry lands in the queue's slab (see
+        :meth:`EventQueue.push_transient`) and orders exactly as
+        :meth:`schedule` would.
+        """
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.queue.push_transient(
+            self.now + delay, callback, priority=priority, label=label
+        )
+
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event."""
         self.queue.cancel(event)
@@ -193,15 +215,20 @@ class Simulator:
         """Process exactly one event.  Returns ``False`` if the queue is empty."""
         if not self.queue:
             return False
-        event = self.queue.pop()
-        self.clock.advance_to(event.time)
+        time, callback, label, slot = self.queue.pop_next()
+        self.clock.advance_to(time)
+        if slot >= 0:
+            # Recycle the transient's slab slot before firing: the
+            # callback and label are already in hand, and releasing
+            # first keeps the slot from leaking if the callback raises.
+            self.queue.release(slot)
         profiler = self.profiler
         if profiler is None:
-            event.fire()
+            callback()
         else:
             started = perf_counter()
-            event.fire()
-            profiler.record(event.label, perf_counter() - started)
+            callback()
+            profiler.record(label, perf_counter() - started)
         self._events_processed += 1
         return True
 

@@ -1,0 +1,148 @@
+"""Scalar vs struct-of-arrays cache: whole-simulation equivalence.
+
+The golden-trace guarantee behind the ``vectorized=True`` default: a
+complete scripted simulation — election, maintenance rounds, snapshot
+queries, lossless and lossy radio — produces *bit-identical*
+trajectories, per-round digests and whole-sim digests whichever
+backing store the model-aware cache uses.  Identical trajectories
+imply identical derived outputs (the Fig 8/12/13 pipelines read the
+same trace and cache state), so this suite pins the figures too.
+
+Also covered: the checkpoint/restore differential legs with the
+vectorized cache (a ``NeighborBlock`` frozen mid-round restores
+byte-identically) and direct pickle round-trips of the SoA engines.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.models.cache import BYTES_PER_PAIR
+from repro.models.cache_manager import ModelAwareCache
+from repro.models.soa import ModelAwareCacheFleet, NeighborBlock
+from repro.persist import load_checkpoint, save_checkpoint
+from repro.persist.digest import canonical_bytes
+
+from tests.persist.conftest import (
+    SCRIPT,
+    assert_outcomes_equal,
+    build_runtime,
+    outcome,
+)
+
+
+def _run(seed: int, policy: str, loss: float) -> dict:
+    runtime = build_runtime(seed, policy, loss)
+    for step in SCRIPT:
+        step(runtime)
+    return outcome(runtime)
+
+
+def test_vectorized_matches_scalar_whole_run_lossless():
+    vec = _run(2005, "model-aware", 0.0)
+    sca = _run(2005, "model-aware-scalar", 0.0)
+    assert_outcomes_equal(sca, vec)
+    assert vec["round_digests"], "script must complete maintenance rounds"
+
+
+def test_vectorized_matches_scalar_whole_run_lossy():
+    assert_outcomes_equal(
+        _run(1813, "model-aware-scalar", 0.3), _run(1813, "model-aware", 0.3)
+    )
+
+
+@pytest.mark.parametrize("loss", [0.0, 0.25], ids=["lossless", "lossy"])
+def test_vectorized_cache_resumes_bit_identically(loss, tmp_path):
+    """Freeze mid-script with the SoA cache; the resumed run matches."""
+    seed = 5
+    reference = _run(seed, "model-aware", loss)
+    for cut in (3, 5):  # after start_maintenance / mid-round advances
+        runtime = build_runtime(seed, "model-aware", loss)
+        for step in SCRIPT[:cut]:
+            step(runtime)
+        path = tmp_path / f"vec-cut{cut}.ckpt"
+        saved = save_checkpoint(runtime, path)
+        del runtime
+        resumed = load_checkpoint(path)
+        assert resumed.state_digest().whole == saved.whole
+        # the restored policy still runs the SoA engine
+        policy = resumed.nodes[0].store.policy
+        assert policy.vectorized and policy._block is not None
+        for step in SCRIPT[cut:]:
+            step(resumed)
+        assert_outcomes_equal(outcome(resumed), reference)
+
+
+def _stream(length, neighbors, seed):
+    rng = np.random.default_rng(seed)
+    own = np.cumsum(rng.normal(0.0, 1.0, size=length)) + 20.0
+    ids = rng.integers(0, neighbors, size=length)
+    noise = rng.normal(0.0, 0.5, size=length)
+    return [
+        (int(ids[k]), float(own[k]), float(1.5 * own[k] + noise[k]))
+        for k in range(length)
+    ]
+
+
+def test_neighbor_block_pickle_roundtrip_is_byte_identical():
+    """A mid-stream NeighborBlock restores to the exact same state and
+    keeps behaving identically under further traffic."""
+    cache = ModelAwareCache(BYTES_PER_PAIR * 32, vectorized=True)
+    stream = _stream(800, 5, 77)
+    for j, x, y in stream[:500]:
+        cache.observe(j, x, y)
+    restored = pickle.loads(pickle.dumps(cache))
+    assert canonical_bytes(restored.digest_state()) == canonical_bytes(
+        cache.digest_state()
+    )
+    for j, x, y in stream[500:]:
+        assert restored.observe(j, x, y) == cache.observe(j, x, y)
+    assert canonical_bytes(restored.digest_state()) == canonical_bytes(
+        cache.digest_state()
+    )
+
+
+def test_fleet_pickle_roundtrip_is_byte_identical():
+    fleet = ModelAwareCacheFleet(16, 256, max_lines=6, ring_cap=16)
+    streams = [_stream(300, 4, 100 + c) for c in range(16)]
+    for t in range(200):
+        fleet.observe_batch(
+            np.array([streams[c][t][0] for c in range(16)]),
+            np.array([streams[c][t][1] for c in range(16)]),
+            np.array([streams[c][t][2] for c in range(16)]),
+        )
+    restored = pickle.loads(pickle.dumps(fleet))
+    for c in range(16):
+        assert canonical_bytes(restored.cache_state(c)) == canonical_bytes(
+            fleet.cache_state(c)
+        )
+    for t in range(200, 300):
+        js = np.array([streams[c][t][0] for c in range(16)])
+        xs = np.array([streams[c][t][1] for c in range(16)])
+        ys = np.array([streams[c][t][2] for c in range(16)])
+        assert (restored.observe_batch(js, xs, ys) == fleet.observe_batch(js, xs, ys)).all()
+    for c in range(16):
+        assert canonical_bytes(restored.cache_state(c)) == canonical_bytes(
+            fleet.cache_state(c)
+        )
+
+
+def test_bare_block_pickle_preserves_free_list_and_cursor():
+    """Engine bookkeeping (row free-list, rr cursor) survives pickling:
+    the restored block reuses rows exactly as the original does."""
+    block = NeighborBlock(BYTES_PER_PAIR * 8)
+    rng = np.random.default_rng(9)
+    for _ in range(400):
+        block.observe(int(rng.integers(0, 4)), float(rng.normal()), float(rng.normal()))
+    clone = pickle.loads(pickle.dumps(block))
+    assert clone.rr_cursor == block.rr_cursor
+    assert clone._free == block._free
+    assert clone._index == block._index
+    for _ in range(200):
+        j = int(rng.integers(0, 4))
+        x, y = float(rng.normal()), float(rng.normal())
+        assert clone.observe(j, x, y) == block.observe(j, x, y)
+    assert clone._index == block._index and clone._free == block._free
