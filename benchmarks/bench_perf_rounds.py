@@ -1,0 +1,199 @@
+"""Batched maintenance rounds: fleet sweep vs scalar per-delivery path.
+
+Like ``bench_perf_cache`` and ``bench_perf_radio``, this measures the
+*implementation*, not the paper: the wall time of measurement rounds —
+every node broadcasting its reading once per tick while all neighbors
+snoop the sample into their model-aware caches — under the two
+observation paths:
+
+* **scalar** (``batched_rounds=False``) — the golden reference: one
+  ``cache.observe`` decision inside each delivery event;
+* **batched** (``batched_rounds=True``) — the
+  ``BatchedObservationRouter`` collects the burst and applies it in
+  per-lane-order-preserving waves through
+  ``ModelAwareCacheFleet.observe_lanes``.
+
+The trajectories are bit-identical (pinned by
+``tests/persist/test_batched_equivalence.py``), so the ratio is pure
+implementation speedup; a pair-count/event-count checksum re-asserts it
+here on every timed run.  Quick scale measures N=400 (the asserted
+floor); paper scale adds N=2000 and a batched completion run at
+N=5000.  Results land in ``results/BENCH_rounds.{txt,json}``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from conftest import is_paper_scale, run_once
+
+from repro.core.config import ProtocolConfig
+from repro.core.runtime import SnapshotRuntime
+from repro.data.random_walk import RandomWalkConfig, generate_random_walk
+from repro.experiments.harness import make_cache_factory
+from repro.network.topology import uniform_random_topology
+
+#: Acceptance floor: the batched sweep must keep a clear multiple over
+#: the scalar path for measurement rounds at N=400.  The win grows with
+#: N (~2x at N=2000): the per-burst waves get wider while the scalar
+#: path's per-observation Python cost is flat.
+REQUIRED_SPEEDUP_400 = 1.5
+
+#: Cache budget (64 pairs): small enough that every cache saturates
+#: within the warmup window, so the timed rounds exercise the full
+#: §4 decision procedure, not the trivial fill-up phase.
+CACHE_BYTES = 512
+
+#: Warmup / timed window, in measurement ticks (one broadcast per node
+#: per tick).
+WARM_TICKS = 8.0
+TIMED_TICKS = 4.0
+
+#: Expected node degree of the benchmark topologies: the transmission
+#: radius is set so each node overhears ~12 neighbors per tick, the
+#: connectivity regime of the paper's §6.1 multi-hop deployments.
+DEGREE = 12.0
+
+
+def _build(n_nodes: int, batched: bool, seed: int = 11) -> SnapshotRuntime:
+    rng = np.random.default_rng(seed)
+    dataset, _ = generate_random_walk(
+        RandomWalkConfig(
+            n_nodes=n_nodes,
+            n_classes=1,
+            length=int(WARM_TICKS + TIMED_TICKS) + 4,
+        ),
+        rng,
+    )
+    radius = math.sqrt(DEGREE / (math.pi * n_nodes))
+    topology = uniform_random_topology(
+        n_nodes, radius, np.random.default_rng(seed + 1)
+    )
+    return SnapshotRuntime(
+        topology,
+        dataset,
+        ProtocolConfig(threshold=1.0),
+        seed=seed,
+        cache_factory=make_cache_factory("model-aware", CACHE_BYTES),
+        metrics_enabled=False,
+        batched_rounds=batched,
+    )
+
+
+def _checksum(runtime: SnapshotRuntime) -> tuple[int, int]:
+    """A cheap trajectory witness: total cached pairs + event count."""
+    return (
+        sum(node.store.policy.total_pairs for node in runtime.nodes.values()),
+        runtime.simulator.events_processed,
+    )
+
+
+def measurement_rounds(n_nodes: int, batched: bool) -> tuple[float, tuple[int, int]]:
+    """Wall time of ``TIMED_TICKS`` measurement rounds at ``n_nodes``.
+
+    The warmup window saturates every cache (64 pairs vs ~12 neighbors
+    x 8 ticks) and is untimed; the timed window is pure steady-state
+    observation traffic.
+    """
+    runtime = _build(n_nodes, batched)
+    runtime.train(duration=WARM_TICKS)
+    start = time.perf_counter()
+    runtime.train(duration=TIMED_TICKS)
+    elapsed = time.perf_counter() - start
+    return elapsed, _checksum(runtime)
+
+
+def test_bench_observation_rounds(benchmark, report):
+    sizes = [400, 2000] if is_paper_scale() else [400]
+    trials = 3
+
+    def run() -> dict:
+        rounds = {}
+        for n in sizes:
+            # Interleave the modes best-of-N so machine-load drift hits
+            # both alike (the bench_perf_radio overhead discipline).
+            best = {"scalar": float("inf"), "batched": float("inf")}
+            checks = {}
+            for _ in range(trials):
+                for mode, flag in (("scalar", False), ("batched", True)):
+                    secs, check = measurement_rounds(n, batched=flag)
+                    best[mode] = min(best[mode], secs)
+                    checks[mode] = check
+            # Bit-identical trajectories leave an identical witness.
+            assert checks["scalar"] == checks["batched"]
+            rounds[n] = {
+                "scalar_secs": best["scalar"],
+                "batched_secs": best["batched"],
+                "speedup": best["scalar"] / best["batched"],
+                "total_pairs": checks["batched"][0],
+                "events": checks["batched"][1],
+            }
+        completion = None
+        if is_paper_scale():
+            # Scale headroom: one batched deployment at N=5000 must
+            # complete the same warm + timed schedule.
+            n_large = 5000
+            secs, check = measurement_rounds(n_large, batched=True)
+            completion = {
+                "n_nodes": n_large,
+                "timed_secs": secs,
+                "total_pairs": check[0],
+                "events": check[1],
+            }
+        return {"rounds": rounds, "completion": completion}
+
+    results = run_once(benchmark, run)
+
+    lines = [
+        "BENCH rounds — batched fleet sweep vs scalar per-delivery observe",
+        f"  measurement rounds ({TIMED_TICKS:.0f} ticks timed, "
+        f"{WARM_TICKS:.0f} warm, degree~{DEGREE:.0f}, "
+        f"{CACHE_BYTES}B caches, best of {trials})",
+    ]
+    for n, cell in results["rounds"].items():
+        lines.append(
+            f"    N={n:<5} scalar {cell['scalar_secs']:7.3f}s   "
+            f"batched {cell['batched_secs']:7.3f}s   "
+            f"speedup {cell['speedup']:5.2f}x   "
+            f"pairs={cell['total_pairs']}"
+        )
+    completion = results["completion"]
+    if completion is not None:
+        lines.append(
+            f"    N={completion['n_nodes']} (batched completion) "
+            f"{completion['timed_secs']:7.3f}s timed, "
+            f"{completion['events']} events"
+        )
+    report(
+        "BENCH_rounds",
+        "\n".join(lines),
+        data={
+            "cache_bytes": CACHE_BYTES,
+            "warm_ticks": WARM_TICKS,
+            "timed_ticks": TIMED_TICKS,
+            "degree": DEGREE,
+            "best_of": trials,
+            "rounds": {
+                str(n): {
+                    "scalar_secs": round(cell["scalar_secs"], 4),
+                    "batched_secs": round(cell["batched_secs"], 4),
+                    "speedup": round(cell["speedup"], 2),
+                    "total_pairs": cell["total_pairs"],
+                    "events": cell["events"],
+                }
+                for n, cell in results["rounds"].items()
+            },
+            "completion": completion
+            and {
+                "n_nodes": completion["n_nodes"],
+                "timed_secs": round(completion["timed_secs"], 3),
+                "total_pairs": completion["total_pairs"],
+                "events": completion["events"],
+            },
+        },
+    )
+
+    assert results["rounds"][400]["speedup"] >= REQUIRED_SPEEDUP_400

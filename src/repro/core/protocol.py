@@ -131,8 +131,12 @@ class ProtocolNode:
         self._reelections_counter = self.simulator.metrics.counter(
             "election.reelections", labels=("node",)
         )
+        # Per-(node, action) cells are a cardinality footgun at large N
+        # (N × |actions| series); ``observe_node_label=False`` collapses
+        # the key to the action alone.
         self._observe_counter = self.simulator.metrics.counter(
-            "cache.observe", labels=("node", "action")
+            "cache.observe",
+            labels=("node", "action") if config.observe_node_label else ("action",),
         )
 
         self.device = radio.node(node_id)
@@ -582,7 +586,16 @@ class ProtocolNode:
     # ------------------------------------------------------------------
 
     def _on_message(self, message: Message, overheard: bool) -> None:
-        if isinstance(message, Invitation):
+        # Dispatch order follows traffic volume: measurement reports
+        # dominate every phase (Fig 15), then the §5.1 heartbeat pair;
+        # the election messages are a per-epoch trickle.
+        if isinstance(message, DataReport):
+            self._on_data_report(message)
+        elif isinstance(message, Heartbeat):
+            self._on_heartbeat(message)
+        elif isinstance(message, HeartbeatReply):
+            self._on_heartbeat_reply(message)
+        elif isinstance(message, Invitation):
             self._on_invitation(message)
         elif isinstance(message, CandidateList):
             self._on_candidate_list(message)
@@ -594,14 +607,8 @@ class ProtocolNode:
             self._on_stay_active(message)
         elif isinstance(message, AckRepresenting):
             self._on_ack_representing(message)
-        elif isinstance(message, Heartbeat):
-            self._on_heartbeat(message)
-        elif isinstance(message, HeartbeatReply):
-            self._on_heartbeat_reply(message)
         elif isinstance(message, Resign):
             self._on_resign(message)
-        elif isinstance(message, DataReport):
-            self._on_data_report(message)
 
     def _on_invitation(self, message: Invitation) -> None:
         if message.sender == self.node_id:
@@ -765,6 +772,13 @@ class ProtocolNode:
     def _on_heartbeat(self, message: Heartbeat) -> None:
         if message.target != self.node_id or not self.alive:
             return
+        # Read-after-write fallback (batched rounds): this handler both
+        # records an observation and immediately serves an estimate from
+        # the store, so any samples this node has sitting in the batch
+        # must land first — scalarly, in arrival order.
+        router = self.radio.observation_router
+        if router is not None:
+            router.sync(self)
         own_value = self.value_fn()
         # The heartbeat doubles as a model fine-tuning sample (§3).
         self._record_observation(message.sender, own_value, message.value)
@@ -827,7 +841,16 @@ class ProtocolNode:
         if probability <= 0:
             return
         if probability >= 1.0 or self._rng.random() < probability:
-            self._record_observation(message.sender, self.value_fn(), message.value)
+            router = self.radio.observation_router
+            if router is not None:
+                # Batched rounds: queue the sample for the burst-end
+                # fleet sweep.  The CPU cost is charged now — it does
+                # not depend on the cache's decision — so the battery
+                # and ledger timelines match the scalar path exactly.
+                router.enqueue(self, message.sender, self.value_fn(), message.value)
+                self.radio.charge_cpu(self.node_id)
+            else:
+                self._record_observation(message.sender, self.value_fn(), message.value)
 
     # ------------------------------------------------------------------
     # helpers
@@ -879,7 +902,9 @@ class ProtocolNode:
     ) -> str:
         """Feed the cache and charge the §6.2 CPU cost for the update."""
         action = self.store.record(neighbor_id, own_value, neighbor_value)
-        self._observe_counter.inc((self.node_id, action))
+        self._observe_counter.inc(
+            (self.node_id, action) if self.config.observe_node_label else action
+        )
         if action != Action.REJECT:
             # Admissions (append/shift/augment/newcomer) land on the
             # span timeline; rejects are counted but not timestamped.

@@ -27,10 +27,13 @@ from repro.core.config import ProtocolConfig
 from repro.core.election import ElectionCoordinator
 from repro.core.maintenance import MaintenanceManager
 from repro.core.protocol import ProtocolNode
+from repro.core.round_batch import BatchedObservationRouter
 from repro.core.snapshot import SnapshotView
 from repro.data.series import Dataset
 from repro.energy.costs import PAPER_COST_MODEL, EnergyCostModel
+from repro.models.cache import pairs_for_budget
 from repro.models.cache_manager import ModelAwareCache
+from repro.models.soa import ModelAwareCacheFleet
 from repro.models.estimator import NeighborModelStore
 from repro.models.policy import CachePolicy
 from repro.network.links import PERFECT_LINKS, LossModel
@@ -95,6 +98,13 @@ class SnapshotRuntime:
         infinite batteries (the §6.1 setting).
     cost_model:
         Energy prices (defaults to the paper's §6.2 accounting).
+    batched_rounds:
+        Collect overheard measurement observations into per-burst
+        batches applied through one fleet sweep (see
+        ``core.round_batch``) instead of one ``cache.observe`` call per
+        delivery.  Bit-identical to the scalar path (proven by the
+        differential suite in ``tests/persist/``); ``False`` keeps the
+        scalar per-delivery path as the golden reference.
     """
 
     def __init__(
@@ -109,6 +119,7 @@ class SnapshotRuntime:
         cost_model: EnergyCostModel = PAPER_COST_MODEL,
         keep_trace_records: bool = False,
         metrics_enabled: bool = True,
+        batched_rounds: bool = True,
     ) -> None:
         if dataset.n_nodes < len(topology):
             raise ValueError(
@@ -145,10 +156,72 @@ class SnapshotRuntime:
                 value_fn=self._value_fn(node_id),
                 location=topology.position(node_id),
             )
+        self.batched_rounds = bool(batched_rounds)
+        self.observation_router: Optional[BatchedObservationRouter] = None
+        if self.batched_rounds:
+            router = BatchedObservationRouter(
+                self.simulator,
+                fleet=self._build_fleet(),
+                node_label=self.config.observe_node_label,
+            )
+            self.observation_router = router
+            self.simulator.observation_barrier = router
+            self.radio.observation_router = router
+
         self.coordinator = ElectionCoordinator(self.simulator, self.nodes, self.config)
         self.maintenance = MaintenanceManager(
-            self.simulator, self.nodes, self.config, self.radio.stats
+            self.simulator,
+            self.nodes,
+            self.config,
+            self.radio.stats,
+            router=self.observation_router,
         )
+
+    def _build_fleet(self) -> Optional[ModelAwareCacheFleet]:
+        """A shared cache fleet with one lane per node, if the policy allows.
+
+        Every cache must be an empty, vectorized
+        :class:`~repro.models.cache_manager.ModelAwareCache` on a single
+        byte budget; anything else (round-robin, mixed budgets,
+        pre-warmed caches) returns ``None`` and the observation router
+        falls back to scalar application — still batched at the same
+        barrier, just without the vectorized sweep.  Lane order is
+        ascending node id.
+        """
+        policies = []
+        for node_id in sorted(self.nodes):
+            policy = self.nodes[node_id].store.policy
+            if (
+                not isinstance(policy, ModelAwareCache)
+                or not policy.vectorized
+                or policy.total_pairs != 0
+            ):
+                return None
+            policies.append(policy)
+        if not policies:
+            return None
+        budgets = {policy.cache_bytes for policy in policies}
+        if len(budgets) != 1:
+            return None
+        cache_bytes = budgets.pop()
+        # A node only ever caches lines for senders it can hear, and a
+        # scalar cache never holds more lines than its pair budget.
+        max_degree = max(
+            len(self.topology.in_neighbors(node_id)) for node_id in sorted(self.nodes)
+        )
+        lines = max(1, min(max_degree, pairs_for_budget(cache_bytes)))
+        fleet = ModelAwareCacheFleet(
+            len(policies), cache_bytes, max_lines=lines, ring_cap=8
+        )
+        for lane, policy in enumerate(policies):
+            policy.bind_fleet(fleet, lane)
+        # Materialize the dense id -> slot gather table while its
+        # eventual F x n_nodes footprint stays modest (int32 entries;
+        # the 32M-entry gate is ~128 MB).  Above that, observe_lanes
+        # resolves slots through the per-cache dicts instead.
+        if len(policies) * len(self.nodes) <= 32_000_000:
+            fleet._ensure_idmap()
+        return fleet
 
     def _value_fn(self, node_id: int) -> Callable[[], float]:
         return _NodeValueReader(self, node_id)

@@ -66,9 +66,9 @@ from repro.models.regression import (
     fit_coefficients,
     model_sse,
 )
-from repro.models.soa import NeighborBlock
+from repro.models.soa import ModelAwareCacheFleet, NeighborBlock
 
-__all__ = ["ModelAwareCache", "CacheLineView"]
+__all__ = ["ModelAwareCache", "CacheLineView", "FleetLineView"]
 
 
 class CacheLineView:
@@ -146,6 +146,89 @@ class CacheLineView:
         return f"CacheLineView(neighbor={self.neighbor_id}, pairs={len(self)})"
 
 
+class FleetLineView:
+    """Read-only line facade over one lane of a :class:`ModelAwareCacheFleet`.
+
+    The fleet-backed twin of :class:`CacheLineView`: resolves its row by
+    ``(lane, neighbor_id)`` on every access and answers the same read
+    surface from the fleet's columns and memos.  Memo reads
+    (fit/benefit/penalty) refresh the fleet's memo columns exactly as
+    the per-node engine's lazy accessors do — memoized values are pure
+    functions of the sums, so reads never perturb future decisions.
+    """
+
+    __slots__ = ("_fleet", "_lane", "neighbor_id")
+
+    def __init__(self, fleet: ModelAwareCacheFleet, lane: int, neighbor_id: int) -> None:
+        self._fleet = fleet
+        self._lane = lane
+        self.neighbor_id = neighbor_id
+
+    def _row(self) -> Optional[int]:
+        return self._fleet._row(self._lane, self.neighbor_id)
+
+    def __len__(self) -> int:
+        r = self._row()
+        return 0 if r is None else int(self._fleet.n[r])
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        r = self._row()
+        return iter(()) if r is None else iter(self._fleet._pairs(r))
+
+    @property
+    def pairs(self) -> PairsView:
+        """The stored pairs, oldest first (a lazy, read-only view)."""
+        r = self._row()
+        return PairsView(() if r is None else self._fleet._pairs(r))
+
+    @property
+    def oldest(self) -> tuple[float, float]:
+        r = self._row()
+        if r is None:
+            raise IndexError(f"cache line for neighbor {self.neighbor_id} is empty")
+        return self._fleet._pairs(r)[0]
+
+    @property
+    def stats(self) -> RegressionStats:
+        """A fresh :class:`RegressionStats` snapshot of the row's sums."""
+        r = self._row()
+        if r is None:
+            return RegressionStats()
+        f = self._fleet
+        return RegressionStats(
+            int(f.n[r]), float(f.sx[r]), float(f.sy[r]),
+            float(f.sxx[r]), float(f.sxy[r]), float(f.syy[r]),
+        )
+
+    @property
+    def evictions_since_sync(self) -> int:
+        r = self._row()
+        return 0 if r is None else int(self._fleet.esync[r])
+
+    def model_coefficients(self) -> tuple[float, float]:
+        r = self._row()
+        if r is None:
+            raise ValueError("cannot fit a model to an empty cache line")
+        return self._fleet._current_fit(r)
+
+    def model(self) -> LinearModel:
+        return LinearModel(*self.model_coefficients())
+
+    def benefit(self) -> float:
+        r = self._row()
+        return 0.0 if r is None else self._fleet._benefit_scalar(r)
+
+    def eviction_penalty(self) -> float:
+        r = self._row()
+        return 0.0 if r is None else self._fleet._penalty_scalar(r)
+
+    def __repr__(self) -> str:
+        return (
+            f"FleetLineView(lane={self._lane}, neighbor={self.neighbor_id}, "
+            f"pairs={len(self)})"
+        )
+
+
 class ModelAwareCache(CachePolicy):
     """Benefit-driven cache admission and replacement (§4).
 
@@ -168,6 +251,11 @@ class ModelAwareCache(CachePolicy):
         self._block: Optional[NeighborBlock] = (
             NeighborBlock(cache_bytes) if self.vectorized else None
         )
+        #: Fleet backing (see :meth:`bind_fleet`): when set, this cache
+        #: is lane ``_lane`` of a shared :class:`ModelAwareCacheFleet`
+        #: and ``_block`` is dropped.
+        self._fleet: Optional[ModelAwareCacheFleet] = None
+        self._lane = -1
         #: Memoized Penalty_Evict per line; absent while a line is dirty.
         self._penalties: dict[int, float] = {}
         #: Lazy min-heap of (penalty, neighbor_id); entries whose penalty
@@ -177,8 +265,33 @@ class ModelAwareCache(CachePolicy):
         self._dirty: set[int] = set()
         self._rr_cursor = -1
 
+    def bind_fleet(self, fleet: ModelAwareCacheFleet, lane: int) -> None:
+        """Back this cache by lane ``lane`` of a shared fleet.
+
+        Only an *empty* vectorized cache can be rebound (the fleet lane
+        starts empty too, so no state migration is needed — binding
+        happens at network construction time).  After binding, every
+        read and write dispatches to the fleet's columns; the cache
+        keeps its class and digest shape, so checkpoints and
+        equivalence digests are indistinguishable from the per-node
+        engine's.
+        """
+        if not self.vectorized:
+            raise ValueError("only a vectorized ModelAwareCache can join a fleet")
+        if self.total_pairs:
+            raise ValueError("cannot rebind a non-empty cache to a fleet")
+        if fleet.cache_bytes != self.cache_bytes:
+            raise ValueError(
+                f"fleet budget {fleet.cache_bytes} != cache budget {self.cache_bytes}"
+            )
+        self._fleet = fleet
+        self._lane = int(lane)
+        self._block = None
+
     def observe(self, neighbor_id: int, own_value: float, neighbor_value: float) -> str:
         """Offer a fresh pair for ``neighbor_id``; returns the action taken."""
+        if self._fleet is not None:
+            return self._fleet.observe(self._lane, neighbor_id, own_value, neighbor_value)
         if self._block is not None:
             return self._block.observe(neighbor_id, own_value, neighbor_value)
 
@@ -203,6 +316,9 @@ class ModelAwareCache(CachePolicy):
 
     def forget(self, neighbor_id: int) -> None:
         """Drop all history for ``neighbor_id`` (e.g. a departed node)."""
+        if self._fleet is not None:
+            self._fleet.forget(self._lane, neighbor_id)
+            return
         if self._block is not None:
             self._block.forget(neighbor_id)
             return
@@ -215,18 +331,26 @@ class ModelAwareCache(CachePolicy):
     @property
     def total_pairs(self) -> int:
         """Pairs currently stored across all lines (O(1) running count)."""
+        if self._fleet is not None:
+            return int(self._fleet.total[self._lane])
         if self._block is not None:
             return self._block.total
         return self._total_pairs
 
     def known_neighbors(self) -> list[int]:
         """Neighbors with at least one stored pair, ascending id."""
+        if self._fleet is not None:
+            return self._fleet.known_neighbors(self._lane)
         if self._block is not None:
             return self._block.neighbor_ids()
         return super().known_neighbors()
 
-    def line(self, neighbor_id: int) -> Optional[CacheLine | CacheLineView]:
+    def line(self, neighbor_id: int) -> Optional[CacheLine | CacheLineView | FleetLineView]:
         """The cache line for ``neighbor_id``, or ``None``."""
+        if self._fleet is not None:
+            if self._fleet._row(self._lane, neighbor_id) is None:
+                return None
+            return FleetLineView(self._fleet, self._lane, neighbor_id)
         if self._block is not None:
             if self._block.row_of(neighbor_id) is None:
                 return None
@@ -235,7 +359,12 @@ class ModelAwareCache(CachePolicy):
 
     def digest_state(self) -> tuple:
         """Canonical state: the shared line state plus the newcomer cursor."""
-        cursor = self._block.rr_cursor if self._block is not None else self._rr_cursor
+        if self._fleet is not None:
+            cursor = int(self._fleet.rr[self._lane])
+        elif self._block is not None:
+            cursor = self._block.rr_cursor
+        else:
+            cursor = self._rr_cursor
         return super().digest_state() + (cursor,)
 
     def _check_capacity_invariant(self) -> None:

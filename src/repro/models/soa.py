@@ -649,17 +649,31 @@ class ModelAwareCacheFleet:
         self.rr = np.full(F, -1, dtype=np.int64)
         self.slot = [dict() for _ in range(F)]   # id -> slot within cache
         # Dense id -> slot map: one int32 per (cache, id) enabling the
-        # batched lane dispatch gather; grown by doubling on demand.
+        # batched lane dispatch gather of :meth:`observe_batch`; grown
+        # by doubling on demand.  Built lazily on first use — the
+        # sparse :meth:`observe_lanes` dispatch resolves slots through
+        # the per-cache dicts instead, so fleet-backed simulations at
+        # large node counts never pay the F x max_id footprint.
         self.idcap = 64
-        self.idmap = np.full((F, self.idcap), -1, dtype=np.int32)
+        self.idmap: Optional[np.ndarray] = None
         self._arF = np.arange(F)
+        # Lanes freed by :meth:`retire_lane`, reused by :meth:`add_lane`.
+        self._free_lanes: list[int] = []
+
+    def __getstate__(self):
+        # The dense idmap is a pure gather cache over the slot dicts;
+        # drop it from checkpoints (it can be 100s of MB at large F)
+        # and rebuild lazily on demand after restore.
+        state = self.__dict__.copy()
+        state["idmap"] = None
+        return state
 
     # -- scalar per-lane operations (warmup, newcomers, rare paths) ----------
 
     def _row(self, c: int, j: int, make: bool = False) -> Optional[int]:
         s = self.slot[c].get(j)
         if s is None and make:
-            if j >= self.idcap:
+            if self.idmap is not None and j >= self.idcap:
                 cap = self.idcap
                 while j >= cap:
                     cap *= 2
@@ -678,7 +692,8 @@ class ModelAwareCacheFleet:
                     f"raise max_lines to admit neighbor {j}"
                 )
             self.slot[c][j] = s
-            self.idmap[c, j] = s
+            if self.idmap is not None:
+                self.idmap[c, j] = s
             r = base + s
             self.ids[r] = j
             self.n[r] = 0
@@ -692,7 +707,8 @@ class ModelAwareCacheFleet:
     def _free_row(self, c: int, r: int) -> None:
         j = int(self.ids[r])
         del self.slot[c][j]
-        self.idmap[c, j] = -1
+        if self.idmap is not None:
+            self.idmap[c, j] = -1
         self.ids[r] = -1
         self.n[r] = 0
 
@@ -754,7 +770,11 @@ class ModelAwareCacheFleet:
         Row-wise ``cumsum`` accumulates left-to-right, so reading the
         prefix at position ``n - 1`` is bit-identical to the scalar
         sequential loop; ring slots past ``n - 1`` never enter that
-        prefix.
+        prefix.  One signed-zero wrinkle: ``cumsum`` starts from the
+        first element while the scalar loop starts from ``0.0``, so an
+        all ``-0.0`` prefix sums to ``-0.0`` here but ``+0.0`` there.
+        A sum seeded with ``+0.0`` can never round to ``-0.0``, so
+        adding ``+0.0`` (which only flips ``-0.0``) closes the gap.
         """
         nr = self.n[rows]
         k = np.arange(int(nr.max()))
@@ -763,11 +783,11 @@ class ModelAwareCacheFleet:
         py = self.ry[rows[:, None], idx]
         ii = np.arange(rows.size)
         last = nr - 1
-        self.sx[rows] = px.cumsum(axis=1)[ii, last]
-        self.sy[rows] = py.cumsum(axis=1)[ii, last]
-        self.sxx[rows] = (px * px).cumsum(axis=1)[ii, last]
-        self.sxy[rows] = (px * py).cumsum(axis=1)[ii, last]
-        self.syy[rows] = (py * py).cumsum(axis=1)[ii, last]
+        self.sx[rows] = px.cumsum(axis=1)[ii, last] + 0.0
+        self.sy[rows] = py.cumsum(axis=1)[ii, last] + 0.0
+        self.sxx[rows] = (px * px).cumsum(axis=1)[ii, last] + 0.0
+        self.sxy[rows] = (px * py).cumsum(axis=1)[ii, last] + 0.0
+        self.syy[rows] = (py * py).cumsum(axis=1)[ii, last] + 0.0
         self.esync[rows] = 0
 
     def _grow_rings(self) -> None:
@@ -898,6 +918,80 @@ class ModelAwareCacheFleet:
         return (baseline - sse_cur / n_aug, baseline - sse_sh / n_aug,
                 baseline - sse_aug / n_aug)
 
+    def _exact_benefits_rows(self, rows, xs, ys):
+        """Vectorized :meth:`_exact_benefits` over many rows at once.
+
+        On strongly correlated workloads (the paper's §6.1 classes are
+        exactly affine, so all three benefits tie *by construction*)
+        virtually every observation lands in the near-tie re-score; a
+        per-row Python fallback would erase the whole batch win.  This
+        sweep walks the rings one position at a time — a ``ring_cap``-
+        bounded loop of whole-batch vector ops — accumulating in the
+        *same element order per row* as the scalar loop, with masked
+        ``where`` updates (not additions of 0.0) past each row's fill,
+        so every intermediate rounding matches bit-for-bit.
+        """
+        C = self.C
+        n = self.n[rows]
+        pos = (self.head[rows][:, None] + np.arange(C)[None, :]) % C
+        px = self.rx[rows[:, None], pos]
+        py = self.ry[rows[:, None], pos]
+        T = rows.size
+        sx = np.zeros(T); sy = np.zeros(T); sxx = np.zeros(T); sxy = np.zeros(T)
+        sx_sh = np.zeros(T); sy_sh = np.zeros(T)
+        sxx_sh = np.zeros(T); sxy_sh = np.zeros(T)
+        pmax = int(n.max())
+        for p in range(pmax):
+            live = p < n
+            cx = px[:, p]; cy = py[:, p]
+            sx = np.where(live, sx + cx, sx)
+            sy = np.where(live, sy + cy, sy)
+            sxx = np.where(live, sxx + cx * cx, sxx)
+            sxy = np.where(live, sxy + cx * cy, sxy)
+            if p > 0:  # the shift sums skip each row's oldest pair
+                sx_sh = np.where(live, sx_sh + cx, sx_sh)
+                sy_sh = np.where(live, sy_sh + cy, sy_sh)
+                sxx_sh = np.where(live, sxx_sh + cx * cx, sxx_sh)
+                sxy_sh = np.where(live, sxy_sh + cx * cy, sxy_sh)
+        nf = n.astype(np.float64)
+        a_cur, b_cur = self._vbatch_fit(nf, sx, sy, sxx, sxy)
+        a_sh, b_sh = self._vbatch_fit(
+            nf, sx_sh + xs, sy_sh + ys, sxx_sh + xs * xs, sxy_sh + xs * ys
+        )
+        n_aug = nf + 1.0
+        a_aug, b_aug = self._vbatch_fit(
+            n_aug, sx + xs, sy + ys, sxx + xs * xs, sxy + xs * ys
+        )
+        syy = np.zeros(T)
+        sse_cur = np.zeros(T); sse_sh = np.zeros(T); sse_aug = np.zeros(T)
+        for p in range(pmax):
+            live = p < n
+            cx = px[:, p]; cy = py[:, p]
+            syy = np.where(live, syy + cy * cy, syy)
+            t = cy - (a_cur * cx + b_cur)
+            sse_cur = np.where(live, sse_cur + t * t, sse_cur)
+            t = cy - (a_sh * cx + b_sh)
+            sse_sh = np.where(live, sse_sh + t * t, sse_sh)
+            t = cy - (a_aug * cx + b_aug)
+            sse_aug = np.where(live, sse_aug + t * t, sse_aug)
+        syy = syy + ys * ys
+        t = ys - (a_cur * xs + b_cur); sse_cur = sse_cur + t * t
+        t = ys - (a_sh * xs + b_sh); sse_sh = sse_sh + t * t
+        t = ys - (a_aug * xs + b_aug); sse_aug = sse_aug + t * t
+        baseline = syy / n_aug
+        return (baseline - sse_cur / n_aug, baseline - sse_sh / n_aug,
+                baseline - sse_aug / n_aug)
+
+    @staticmethod
+    def _vbatch_fit(n_, sx_, sy_, sxx_, sxy_):
+        """Vectorized :meth:`_batch_fit` (same degeneracy rule per row)."""
+        nsxx = n_ * sxx_
+        sxsx = sx_ * sx_
+        den = nsxx - sxsx
+        deg = np.abs(den) <= _DEG * np.maximum(1.0, np.maximum(nsxx, sxsx))
+        a = np.where(deg, 0.0, (n_ * sxy_ - sx_ * sy_) / np.where(deg, 1.0, den))
+        return a, (sy_ - a * sx_) / n_
+
     def observe(self, c: int, j: int, x: float, y: float) -> str:
         """Scalar single-cache observe (warmup and fallback path)."""
         x = float(x); y = float(y)
@@ -1006,6 +1100,25 @@ class ModelAwareCacheFleet:
 
     # -- the vectorized batch step --------------------------------------------
 
+    def _ensure_idmap(self) -> None:
+        """Build the dense id -> slot gather table from the slot dicts.
+
+        Deferred until :meth:`observe_batch` actually needs it, so
+        sparse-dispatch users (:meth:`observe_lanes`) never allocate
+        the ``F x idcap`` table.
+        """
+        if self.idmap is not None:
+            return
+        cap = self.idcap
+        top = max((max(d) for d in self.slot if d), default=-1)
+        while top >= cap:
+            cap *= 2
+        self.idcap = cap
+        self.idmap = np.full((self.F, cap), -1, dtype=np.int32)
+        for c, d in enumerate(self.slot):
+            for j, s in d.items():
+                self.idmap[c, j] = s
+
     def observe_batch(self, neighbor_ids, own_values, neighbor_values) -> np.ndarray:
         """Advance every cache by one observation; lane ``i`` → cache ``i``.
 
@@ -1015,30 +1128,66 @@ class ModelAwareCacheFleet:
         else — candidate scoring, victim selection, eviction, append,
         memo refresh — runs column-wise across the fast lanes.
         """
-        with np.errstate(divide="ignore", invalid="ignore"):
-            return self._observe_batch(neighbor_ids, own_values, neighbor_values)
-
-    def _observe_batch(self, js, xs, ys) -> np.ndarray:
-        F, S, C = self.F, self.S, self.C
-        js = np.asarray(js, dtype=np.int64)
-        xs = np.asarray(xs, dtype=np.float64)
-        ys = np.asarray(ys, dtype=np.float64)
+        F = self.F
+        js = np.asarray(neighbor_ids, dtype=np.int64)
+        xs = np.asarray(own_values, dtype=np.float64)
+        ys = np.asarray(neighbor_values, dtype=np.float64)
         if js.shape != (F,) or xs.shape != (F,) or ys.shape != (F,):
             raise ValueError(
                 f"observe_batch wants one observation per cache "
                 f"(shape ({F},)), got {js.shape}/{xs.shape}/{ys.shape}"
             )
-        # Lane dispatch: dense id->slot gather; slow lanes (cache not yet
-        # full, or unknown/empty line) take the scalar path one by one.
+        self._ensure_idmap()
         slot = self.idmap[self._arF, np.minimum(js, self.idcap - 1)]
-        slot = np.where(js < self.idcap, slot, -1)
-        fast = (slot >= 0) & (self.total >= self.capacity_pairs)
-        rows = self._arF * S + slot
-        actions = np.zeros(F, dtype=np.int8)  # 0 = reject
+        slot = np.where(js < self.idcap, slot, -1).astype(np.int64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return self._observe_lanes(self._arF, js, xs, ys, slot)
+
+    def observe_lanes(self, cache_ids, neighbor_ids, own_values, neighbor_values) -> np.ndarray:
+        """Advance a *subset* of caches by one observation each.
+
+        ``cache_ids`` must be distinct (one observation per cache — a
+        cache's decisions are order-dependent, so feeding it twice in
+        one call would race its own column updates).  Slots are
+        resolved through the per-cache dicts, so no dense id table is
+        materialized; otherwise this is exactly :meth:`observe_batch`
+        restricted to the given lanes, bit-for-bit.
+        """
+        cs = np.asarray(cache_ids, dtype=np.int64)
+        js = np.asarray(neighbor_ids, dtype=np.int64)
+        xs = np.asarray(own_values, dtype=np.float64)
+        ys = np.asarray(neighbor_values, dtype=np.float64)
+        if not (cs.shape == js.shape == xs.shape == ys.shape) or cs.ndim != 1:
+            raise ValueError(
+                f"observe_lanes wants four equal-length 1-D arrays, got "
+                f"{cs.shape}/{js.shape}/{xs.shape}/{ys.shape}"
+            )
+        if self.idmap is not None:
+            # Dense gather (one vector op) when the id table has been
+            # materialized — see _ensure_idmap / runtime._build_fleet.
+            slot = self.idmap[cs, np.minimum(js, self.idcap - 1)]
+            slot = np.where(js < self.idcap, slot, -1).astype(np.int64)
+        else:
+            slots = self.slot
+            slot = np.fromiter(
+                (slots[c].get(j, -1) for c, j in zip(cs.tolist(), js.tolist())),
+                dtype=np.int64,
+                count=cs.size,
+            )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return self._observe_lanes(cs, js, xs, ys, slot)
+
+    def _observe_lanes(self, cs, js, xs, ys, slot) -> np.ndarray:
+        F, S, C = self.F, self.S, self.C
+        # Lane dispatch: slow lanes (cache not yet full, or unknown/empty
+        # line) take the scalar path one by one.
+        fast = (slot >= 0) & (self.total[cs] >= self.capacity_pairs)
+        rows = cs * S + slot
+        actions = np.zeros(cs.size, dtype=np.int8)  # 0 = reject
         slow = np.flatnonzero(~fast)
-        for c in slow:
-            actions[c] = ACTION_CODES[
-                self.observe(int(c), int(js[c]), float(xs[c]), float(ys[c]))
+        for i in slow:
+            actions[i] = ACTION_CODES[
+                self.observe(int(cs[i]), int(js[i]), float(xs[i]), float(ys[i]))
             ]
         if not fast.any():
             return actions
@@ -1088,16 +1237,17 @@ class ModelAwareCacheFleet:
         tie = (((d_cs > -near) & (d_cs < near))
                | ((d_ca > -near) & (d_ca < near))
                | ((d_sa > -near) & (d_sa < near)))
-        if tie.any():
-            for i in np.flatnonzero(tie):
-                bc, bs, ba = self._exact_benefits(int(fr[i]), float(x[i]), float(y[i]))
-                b_c[i] = bc; b_s[i] = bs; b_a[i] = ba
+        ti = np.flatnonzero(tie)
+        if ti.size:
+            bc, bs, ba = self._exact_benefits_rows(fr[ti], x[ti], y[ti])
+            b_c[ti] = bc; b_s[ti] = bs; b_a[ti] = ba
 
         reject = (b_c >= b_s) & (b_c >= b_a)
         shift = ~reject & (b_s >= b_a)
         augment = ~reject & ~shift
 
-        fidx = np.flatnonzero(fast)  # cache index per fast lane
+        flane = np.flatnonzero(fast)   # input position per fast lane
+        fcs = cs[flane]                # cache index per fast lane
         # Augment lanes: refresh every stale penalty fleet-wide (they
         # all feed some lane's victim scan), then select victims as a
         # masked lexicographic (penalty, id) minimum per lane.
@@ -1108,7 +1258,7 @@ class ModelAwareCacheFleet:
             stale = np.flatnonzero((~self.pok) & (self.ids >= 0) & (self.n > 0))
             if stale.size:
                 self._refresh_penalties(stale)
-            cA = fidx[aug_lanes]
+            cA = fcs[aug_lanes]
             rA = fr[aug_lanes]
             gain = b_a[aug_lanes] - b_s[aug_lanes]
             idsC = self.ids.reshape(F, S)[cA]
@@ -1209,8 +1359,8 @@ class ModelAwareCacheFleet:
             pr_ = ar[okp]
             self.pen[pr_] = p[okp]; self.pok[pr_] = True
 
-        actions[fidx[shift_lanes]] = ACTION_CODES["shift"]
-        actions[fidx[aug_apply]] = ACTION_CODES["augment"]
+        actions[flane[shift_lanes]] = ACTION_CODES["shift"]
+        actions[flane[aug_apply]] = ACTION_CODES["augment"]
         return actions
 
     def _refresh_penalties(self, rows: np.ndarray) -> None:
@@ -1316,6 +1466,72 @@ class ModelAwareCacheFleet:
             "total": int(self.total[c]),
             "rr_cursor": int(self.rr[c]),
         }
+
+    # -- lane lifecycle -------------------------------------------------------
+
+    #: 1-D per-row columns grown together when a lane is added.
+    _ROW_COLUMNS = ("ids", "n", "sx", "sy", "sxx", "sxy", "syy", "fa", "fb",
+                    "fok", "ben", "bok", "pen", "pok", "esync", "head")
+
+    def forget(self, c: int, j: int) -> None:
+        """Drop all history cache ``c`` holds for neighbor ``j``.
+
+        Mirrors :meth:`NeighborBlock.forget`: the line's pairs leave the
+        pair budget and the row is freed; the round-robin cursor is
+        untouched (exactly what the per-node engine does).
+        """
+        r = self._row(c, j)
+        if r is None:
+            return
+        self.total[c] -= int(self.n[r])
+        self.n[r] = 0
+        self._free_row(c, r)
+
+    def retire_lane(self, c: int) -> None:
+        """Clear cache ``c`` and mark its lane reusable by :meth:`add_lane`.
+
+        For deployments where a cache leaves the fleet for good (a
+        crashed node whose flash is wiped, a departed mobile).  Retiring
+        an already-retired lane is an error in the caller.
+        """
+        base = c * self.S
+        for j in list(self.slot[c]):
+            r = base + self.slot[c][j]
+            self.n[r] = 0
+            self._free_row(c, r)
+        self.total[c] = 0
+        self.rr[c] = -1
+        self._free_lanes.append(int(c))
+
+    def add_lane(self) -> int:
+        """A fresh empty cache lane: reuse a retired one or grow the fleet.
+
+        Returns the lane index.  Growth appends ``max_lines`` zeroed
+        rows to every column, so existing rows — and hence every other
+        cache's state — are untouched.
+        """
+        if self._free_lanes:
+            return self._free_lanes.pop()
+        c, S = self.F, self.S
+        for name in self._ROW_COLUMNS:
+            col = getattr(self, name)
+            if name == "ids":
+                pad = np.full(S, -1, dtype=col.dtype)
+            else:
+                pad = np.zeros(S, dtype=col.dtype)
+            setattr(self, name, np.concatenate([col, pad]))
+        self.rx = np.concatenate([self.rx, np.zeros((S, self.C))])
+        self.ry = np.concatenate([self.ry, np.zeros((S, self.C))])
+        self.total = np.concatenate([self.total, np.zeros(1, dtype=np.int64)])
+        self.rr = np.concatenate([self.rr, np.full(1, -1, dtype=np.int64)])
+        self.slot.append({})
+        if self.idmap is not None:
+            self.idmap = np.concatenate(
+                [self.idmap, np.full((1, self.idcap), -1, dtype=np.int32)]
+            )
+        self.F = c + 1
+        self._arF = np.arange(self.F)
+        return c
 
     def __repr__(self) -> str:
         return (

@@ -103,6 +103,12 @@ class Radio:
         self.batch_fanout = batch_fanout
         self._nodes: dict[int, NetworkNode] = {}
         self._rng = simulator.random.stream("radio")
+        #: Optional :class:`~repro.core.round_batch.BatchedObservationRouter`
+        #: attached by the runtime when ``batched_rounds`` is on.
+        #: Protocol handlers consult it to divert overheard measurement
+        #: observations into the per-burst batch instead of applying
+        #: them inline.
+        self.observation_router = None
 
     # -- registration ------------------------------------------------------
 

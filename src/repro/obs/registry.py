@@ -141,6 +141,15 @@ class CounterMetric(_Metric):
             return
         self.cells[key] += amount
 
+    def inc_by(self, key: Any, n: int | float) -> None:
+        """Add ``n`` to the cell at ``key`` — the bulk spelling of
+        :meth:`inc` for batched producers (one call per label key per
+        flush instead of one per event)."""
+        gate = self._gate
+        if gate is not None and not gate.enabled:
+            return
+        self.cells[key] += n
+
     def value(self, key: Any = ()) -> int | float:
         """Current count of the cell at ``key`` (0 if never incremented)."""
         return self.cells[key]

@@ -356,6 +356,18 @@ def _digest_runtime(runtime: Any) -> dict[str, str]:
         ),
         "coordinator": _hexdigest(runtime.coordinator.epoch),
     }
+    # Un-flushed observation batch (batched rounds only, mid-burst
+    # checkpoints).  Added only when non-empty so a settled batched run
+    # digests identically to a scalar run, which has no router at all.
+    router = getattr(runtime, "observation_router", None)
+    if router is not None and router.pending:
+        comps["observations"] = _hexdigest(
+            tuple(
+                (entry[0].node_id, entry[1], entry[2], entry[3])
+                for entry in router.pending
+                if entry[0] is not None
+            )
+        )
     return comps
 
 

@@ -130,6 +130,14 @@ class Simulator:
         self.spans = SpanTracer(self.trace, self.clock, self.metrics)
         #: Wall-clock profiler; ``None`` keeps the hot loop untouched.
         self.profiler: Optional[EventProfiler] = None
+        #: Optional observation barrier (see ``core.round_batch``): an
+        #: object with ``pending`` (truthy while observations are
+        #: queued), ``before_event(time, priority)`` and ``flush()``.
+        #: The hot loop consults it *between* events, so flushing a
+        #: batch never schedules — or consumes — an event of its own
+        #: and the event count / queue sequence stay identical to an
+        #: unbatched run.
+        self.observation_barrier = None
         self._events_processed = 0
 
     def enable_profiling(self) -> EventProfiler:
@@ -213,8 +221,17 @@ class Simulator:
 
     def step(self) -> bool:
         """Process exactly one event.  Returns ``False`` if the queue is empty."""
+        barrier = self.observation_barrier
         if not self.queue:
+            if barrier is not None and barrier.pending:
+                barrier.flush()
             return False
+        if barrier is not None and barrier.pending:
+            # Flush queued observations before any event that is not
+            # part of the same same-instant delivery burst, so every
+            # later event observes exactly the cache state the scalar
+            # path would have built during the deliveries.
+            barrier.before_event(*self.queue.peek_entry())
         time, callback, label, slot = self.queue.pop_next()
         self.clock.advance_to(time)
         if slot >= 0:
@@ -261,7 +278,16 @@ class Simulator:
             self.step()
             fired += 1
             if max_events is not None and fired >= max_events:
+                # Early cut: leave queued observations pending — they
+                # checkpoint with the run and flush on resume, exactly
+                # as the uninterrupted run would at its next step.
                 return fired
+        barrier = self.observation_barrier
+        if barrier is not None and barrier.pending:
+            # The window closed with deliveries still queued for batch
+            # application; apply them before handing control back so
+            # top-level readers (queries, digests) see settled caches.
+            barrier.flush()
         if self.now < time:
             self.clock.advance_to(time)
         return fired

@@ -187,6 +187,19 @@ class EventQueue:
             return None
         return self._heap[0][0]
 
+    def peek_entry(self) -> Optional[tuple[float, int]]:
+        """``(time, priority)`` of the next live event, or ``None`` if empty.
+
+        The observation barrier (see :meth:`Simulator.step`) needs the
+        priority as well as the time to decide whether the upcoming
+        event continues the current same-instant delivery burst.
+        """
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        head = self._heap[0]
+        return head[0], head[1]
+
     def pop(self) -> Event:
         """Remove and return the next live event.
 

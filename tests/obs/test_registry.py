@@ -186,6 +186,50 @@ class TestRegistration:
 # ----------------------------------------------------------------------
 
 
+class TestBulkIncrement:
+    def test_inc_by_equals_repeated_inc(self):
+        registry = MetricsRegistry()
+        bulk = registry.counter("bulk", labels=("node", "action"))
+        loop = registry.counter("loop", labels=("node", "action"))
+        bulk.inc_by((1, "append"), 5)
+        bulk.inc_by((2, "reject"), 3)
+        bulk.inc_by((1, "append"), 2)
+        for _ in range(7):
+            loop.inc((1, "append"))
+        for _ in range(3):
+            loop.inc((2, "reject"))
+        assert dict(bulk.cells) == dict(loop.cells)
+        assert bulk.total() == 10
+
+    @given(
+        batches=st.lists(
+            st.tuples(st.sampled_from(["a", "b", "c"]), st.integers(1, 50)),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_inc_by_cell_order_and_values_match_scalar(self, batches):
+        """Bulk flushes must preserve the Counter's first-touch cell
+        insertion order — it is digested by the persist layer."""
+        registry = MetricsRegistry()
+        bulk = registry.counter("bulk")
+        loop = registry.counter("loop")
+        for key, n in batches:
+            bulk.inc_by(key, n)
+            for _ in range(n):
+                loop.inc(key)
+        assert list(bulk.cells.items()) == list(loop.cells.items())
+
+    def test_inc_by_respects_disabled_gate(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("gated")
+        counter.inc_by("x", 100)
+        assert not counter.cells
+        registry.enabled = True
+        counter.inc_by("x", 4)
+        assert counter.value("x") == 4
+
+
 class TestDisabledRegistry:
     def test_disabled_registry_records_nothing_nonessential(self):
         runtime = make_runtime(metrics_enabled=False)

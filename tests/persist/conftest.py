@@ -45,7 +45,10 @@ def pytest_collection_modifyitems(items):
 
 
 def build_runtime(
-    seed: int, policy: str = "model-aware", loss: float = 0.0
+    seed: int,
+    policy: str = "model-aware",
+    loss: float = 0.0,
+    batched_rounds: bool = True,
 ) -> SnapshotRuntime:
     """A small maintenance-ready network, fully determined by its knobs."""
     data_rng = np.random.default_rng(seed)
@@ -64,6 +67,7 @@ def build_runtime(
         loss_model=GlobalLoss(loss),
         cache_factory=make_cache_factory(policy, 1024),
         keep_trace_records=True,
+        batched_rounds=batched_rounds,
     )
     # Rides inside the pickled graph, so per-round digests survive the
     # freeze/restore cycle along with everything else.
