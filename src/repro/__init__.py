@@ -67,12 +67,19 @@ from repro.network import (
     grid_topology,
     uniform_random_topology,
 )
+from repro.serving import (
+    AdmissionRejected,
+    EpochResultCache,
+    QueryFrontEnd,
+    ServedResult,
+)
 from repro.simulation import RandomSource, Simulator
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AbsoluteError",
+    "AdmissionRejected",
     "Battery",
     "CacheLine",
     "DEFAULT_CACHE_BYTES",
@@ -80,6 +87,7 @@ __all__ = [
     "ElectionCoordinator",
     "EnergyCostModel",
     "EnergyLedger",
+    "EpochResultCache",
     "ErrorMetric",
     "GlobalLoss",
     "LinearModel",
@@ -94,11 +102,13 @@ __all__ = [
     "PerLinkLoss",
     "ProtocolConfig",
     "ProtocolNode",
+    "QueryFrontEnd",
     "Radio",
     "RandomSource",
     "RandomWalkConfig",
     "RelativeError",
     "RoundRobinCache",
+    "ServedResult",
     "Simulator",
     "SnapshotRuntime",
     "SnapshotView",

@@ -9,7 +9,10 @@ Gives the reproduction a front door without writing any code:
   and show the plan, the participants and the answer;
 * ``report`` — run a seeded maintenance workload with full
   observability and print the :class:`~repro.obs.report.RunReport`
-  summary (optionally exporting JSONL/CSV and a wall-clock profile).
+  summary (optionally exporting JSONL/CSV and a wall-clock profile);
+* ``serve`` — stand up the query serving front-end against a freshly
+  trained network, fire a concurrent client workload at it, and print
+  throughput, latency percentiles and epoch-cache statistics.
 
 Examples::
 
@@ -17,6 +20,7 @@ Examples::
     python -m repro.cli experiment fig6 --repetitions 2
     python -m repro.cli query "SELECT AVG(value) FROM sensors USE SNAPSHOT"
     python -m repro.cli report --nodes 100 --rounds 5 --jsonl run.jsonl
+    python -m repro.cli serve --queries 500 --clients 8
 """
 
 from __future__ import annotations
@@ -240,6 +244,55 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.query.ast import Aggregate, Query
+    from repro.query.spatial import random_square
+    from repro.serving import QueryFrontEnd
+
+    runtime = _build_network(
+        args.nodes, args.classes, args.threshold, args.range, args.seed
+    )
+    view = runtime.run_election()
+    workload_rng = np.random.default_rng(args.seed + 1)
+    templates = [
+        Query(
+            region=random_square(0.25, workload_rng),
+            aggregate=Aggregate.AVG,
+            use_snapshot=True,
+        )
+        for _ in range(max(1, args.templates))
+    ]
+    requests = [templates[i % len(templates)] for i in range(args.queries)]
+    frontend = QueryFrontEnd(
+        runtime,
+        max_queue=args.max_queue,
+        max_cost=args.max_cost,
+        cache=not args.no_cache,
+        default_sink=args.sink,
+    )
+    with frontend:
+        start = time.perf_counter()
+        results = frontend.run_workload(requests, clients=args.clients)
+        elapsed = time.perf_counter() - start
+    stats = frontend.stats()
+    hits = sum(1 for served in results if served.cached)
+    print(f"network: {view.n_nodes} nodes, {view.size} representatives, "
+          f"epoch {runtime.current_epoch}")
+    print(f"served : {len(results)} queries from {args.clients} clients "
+          f"over {len(templates)} templates "
+          f"(cache {'off' if args.no_cache else 'on'})")
+    print(f"qps    : {len(results) / elapsed:.0f} "
+          f"({elapsed:.3f}s wall)")
+    print(f"latency: p50 {1e3 * stats['p50_seconds']:.2f} ms, "
+          f"p99 {1e3 * stats['p99_seconds']:.2f} ms")
+    print(f"cache  : {hits}/{len(results)} served cached "
+          f"({stats['cache_invalidations']} invalidations, "
+          f"{stats['trees_built']} trees built)")
+    return 0
+
+
 def cmd_checkpoint(args: argparse.Namespace) -> int:
     runtime = _build_network(
         args.nodes, args.classes, args.threshold, args.range, args.seed
@@ -365,6 +418,37 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--jsonl", default=None, help="write the report as JSONL here")
     report.add_argument("--csv", default=None, help="write the report rows as CSV here")
     report.set_defaults(handler=cmd_report)
+
+    serve = commands.add_parser(
+        "serve", help="serve a concurrent query workload; print QPS/latency"
+    )
+    _add_network_options(serve)
+    serve.add_argument(
+        "--queries", type=int, default=500, help="total queries to serve"
+    )
+    serve.add_argument(
+        "--clients", type=int, default=8, help="concurrent client threads"
+    )
+    serve.add_argument(
+        "--templates", type=int, default=16,
+        help="distinct query shapes cycled through the workload",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=256, help="admission queue bound"
+    )
+    serve.add_argument(
+        "--max-cost", type=float, default=None,
+        help="reject queries whose estimated transmissions exceed this",
+    )
+    serve.add_argument(
+        "--sink", type=int, default=None,
+        help="collecting node id (smallest alive id by default)",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the epoch-keyed result cache",
+    )
+    serve.set_defaults(handler=cmd_serve)
 
     checkpoint = commands.add_parser(
         "checkpoint",

@@ -15,9 +15,10 @@ The paper sketches two extensions implemented here:
   representatives for the most tight threshold T1 and use them for
   answering all other queries" (§3.1).  :meth:`view_for_threshold`
   implements that rule: a query with threshold ``T`` is served by the
-  finest snapshot whose election threshold does not exceed ``T``; a
-  query tighter than every snapshot gets ``None`` (it needs its own
-  election).
+  *coarsest* snapshot whose election threshold does not exceed ``T`` —
+  any such snapshot satisfies the error bound, and the coarsest one
+  has the fewest participating representatives; a query tighter than
+  every snapshot gets ``None`` (it needs its own election).
 """
 
 from __future__ import annotations
@@ -65,17 +66,22 @@ class MultiResolutionSnapshot:
         reasonable startup cost").
         """
         base_config = self.runtime.config
-        for threshold in self.thresholds:
-            scoped = replace(base_config, threshold=threshold)
+        try:
+            for threshold in self.thresholds:
+                scoped = replace(base_config, threshold=threshold)
+                for node in self.runtime.nodes.values():
+                    node.config = scoped
+                self.runtime.coordinator.config = scoped
+                view = self.runtime.run_election()
+                self._views[threshold] = view
+        finally:
+            # Restore the runtime's configured threshold even when an
+            # election raises mid-loop — otherwise every node is left
+            # pointing at the scoped config and the runtime silently
+            # keeps electing at the wrong threshold.
             for node in self.runtime.nodes.values():
-                node.config = scoped
-            self.runtime.coordinator.config = scoped
-            view = self.runtime.run_election()
-            self._views[threshold] = view
-        # restore the runtime's configured threshold
-        for node in self.runtime.nodes.values():
-            node.config = base_config
-        self.runtime.coordinator.config = base_config
+                node.config = base_config
+            self.runtime.coordinator.config = base_config
         return dict(self._views)
 
     @property
@@ -84,7 +90,7 @@ class MultiResolutionSnapshot:
         return dict(self._views)
 
     def view_for_threshold(self, query_threshold: float) -> Optional[SnapshotView]:
-        """The §3.1 reuse rule: the finest snapshot with ``T <= query T``.
+        """The §3.1 reuse rule: the coarsest snapshot with ``T <= query T``.
 
         Returns ``None`` when the query is tighter than every built
         snapshot — it must trigger its own election.

@@ -250,6 +250,33 @@ class SnapshotRuntime:
         """The engine's :class:`~repro.obs.registry.MetricsRegistry`."""
         return self.simulator.metrics
 
+    @property
+    def current_epoch(self) -> int:
+        """The protocol epoch the network is settled at.
+
+        Bumps exactly when a global (re-)election round starts — the
+        only time the representative set is rebuilt wholesale — so
+        snapshot answers computed at epoch ``e`` stay structurally
+        valid while ``current_epoch == e``.  Taken as the max over the
+        coordinator and every node: a node revived mid-election may
+        briefly lag, but the network-wide epoch is monotone.
+        """
+        node_max = max((node.epoch for node in self.nodes.values()), default=0)
+        return max(self.coordinator.epoch, node_max)
+
+    def structure_version(self) -> tuple[int, int]:
+        """Invalidation key for epoch-scoped result caches.
+
+        ``(current_epoch, total local re-elections)``: the epoch covers
+        global rounds, the re-election counter covers the §5.1
+        maintenance repairs that can reshape individual representative
+        sets *within* an epoch.  Any change to the representation
+        structure changes this tuple, so a cache keyed on it can never
+        serve an answer across a structural change.
+        """
+        reelections = sum(node.reelections for node in self.nodes.values())
+        return (self.current_epoch, reelections)
+
     def value_of(self, node_id: int) -> float:
         """Ground-truth measurement of ``node_id`` right now."""
         return self.dataset.value(node_id, self.simulator.now)

@@ -244,6 +244,41 @@ class HistogramMetric(_Metric):
             return existing
         return HistogramCell([0] * (len(self.uppers) + 1))
 
+    def quantile(self, q: float, key: Any = ()) -> float:
+        """Estimate the ``q``-quantile of the cell at ``key``.
+
+        Linear interpolation within the bucket holding the target rank,
+        assuming non-negative observations (bucket 0 spans ``[0,
+        uppers[0]]``) — the shape of every latency/size histogram the
+        serving layer reports p50/p99 from.  Observations in the
+        overflow bucket are clamped to the last finite bound, so the
+        estimate is a lower bound there.  An empty cell estimates 0.
+
+        >>> registry = MetricsRegistry()
+        >>> h = registry.histogram("q.demo", buckets=(1.0, 2.0, 4.0))
+        >>> for sample in (0.5, 1.5, 1.5, 3.0):
+        ...     h.observe(sample)
+        >>> h.quantile(0.5)
+        1.5
+        >>> h.quantile(1.0)
+        4.0
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        cell = self.cells.get(key)
+        if cell is None or cell.count == 0:
+            return 0.0
+        rank = q * cell.count
+        seen = 0.0
+        lower = 0.0
+        for upper, count in zip(self.uppers, cell.counts):
+            if count and seen + count >= rank:
+                fraction = (rank - seen) / count
+                return lower + fraction * (upper - lower)
+            seen += count
+            lower = upper
+        return self.uppers[-1]
+
     def merged(self) -> HistogramCell:
         """All cells folded into one (for whole-run summaries)."""
         merged = HistogramCell([0] * (len(self.uppers) + 1))

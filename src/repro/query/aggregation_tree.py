@@ -48,6 +48,14 @@ class AggregationTree:
     parents: dict[int, int]
     depths: dict[int, int] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # Memo tables, not part of the value: the serving front-end
+        # calls ``routers_for``/``subtree_size`` once per admitted
+        # query against the same shared tree, so paths are resolved at
+        # most once per node instead of re-walked per member per call.
+        object.__setattr__(self, "_path_cache", {})
+        object.__setattr__(self, "_subtree_sizes", None)
+
     @classmethod
     def build(
         cls,
@@ -117,6 +125,11 @@ class AggregationTree:
     def path_to_sink(self, node: int) -> list[int]:
         """Nodes from ``node`` (inclusive) up to the sink (inclusive).
 
+        Paths are memoized per node (and every suffix of a discovered
+        path is memoized with it), so repeated calls — ``routers_for``
+        over many responder sets, drill-through transmission — cost
+        amortized O(path length) instead of one full walk each.
+
         Raises
         ------
         KeyError
@@ -124,10 +137,22 @@ class AggregationTree:
         """
         if node not in self.parents:
             raise KeyError(f"node {node} is not in the tree")
-        path = [node]
-        while path[-1] != self.sink:
-            path.append(self.parents[path[-1]])
-        return path
+        cache: dict[int, tuple[int, ...]] = self._path_cache
+        cached = cache.get(node)
+        if cached is None:
+            walk = [node]
+            tail: tuple[int, ...] = ()
+            while walk[-1] != self.sink:
+                parent = self.parents[walk[-1]]
+                hit = cache.get(parent)
+                if hit is not None:
+                    tail = hit
+                    break
+                walk.append(parent)
+            cached = tuple(walk) + tail
+            for offset in range(len(walk)):
+                cache[walk[offset]] = cached[offset:]
+        return list(cached)
 
     def routers_for(self, responders: Iterable[int]) -> frozenset[int]:
         """Non-responding nodes that must forward the responders' data.
@@ -140,15 +165,31 @@ class AggregationTree:
         for responder in responder_set:
             if responder not in self.parents:
                 continue
-            for hop in self.path_to_sink(responder)[1:-1]:
-                routers.add(hop)
+            routers.update(self.path_to_sink(responder)[1:-1])
         routers.discard(self.sink)
         return frozenset(routers - responder_set)
 
     def subtree_size(self, node: int) -> int:
-        """Number of members whose path to the sink passes through ``node``."""
-        count = 0
-        for member in self.parents:
-            if node in self.path_to_sink(member):
-                count += 1
-        return count
+        """Number of members whose path to the sink passes through ``node``.
+
+        Sizes for the whole tree are computed once, bottom-up from the
+        deepest members (O(members) total), and memoized.
+        """
+        sizes = self._subtree_sizes
+        if sizes is None:
+            depths = self.depths
+            if len(depths) < len(self.parents):
+                # Trees built by hand may omit depths; derive them.
+                depths = {
+                    member: len(self.path_to_sink(member)) - 1
+                    for member in self.parents
+                }
+            sizes = {member: 1 for member in self.parents}
+            by_depth = sorted(
+                self.parents, key=lambda member: depths[member], reverse=True
+            )
+            for member in by_depth:
+                if member != self.sink:
+                    sizes[self.parents[member]] += sizes[member]
+            object.__setattr__(self, "_subtree_sizes", sizes)
+        return sizes.get(node, 0)

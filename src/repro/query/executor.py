@@ -141,6 +141,7 @@ class QueryExecutor:
         rounds: Optional[int] = None,
         charge_energy: bool = True,
         messaged: bool = False,
+        tree: Optional[AggregationTree] = None,
     ) -> QueryResult:
         """Run ``query`` once and return its result.
 
@@ -164,15 +165,30 @@ class QueryExecutor:
             loss and mid-round deaths remove data from the answer.
             Identical to the default central computation on a lossless
             radio.  Implies ``charge_energy``.
+        tree:
+            A pre-built aggregation tree rooted at ``sink`` to reuse
+            instead of flooding a fresh one — the serving front-end
+            shares one tree across in-flight queries with the same
+            sink (the flood, and its RNG draws, happen once per
+            batch).  Must be rooted at the effective sink.
         """
         runtime = self.runtime
         alive = set(runtime.alive_ids())
         if not alive:
             raise RuntimeError("no alive node can act as sink")
         if sink is None:
-            sink = int(sorted(alive)[self._rng.integers(0, len(alive))])
+            if tree is not None:
+                sink = tree.sink
+                if sink not in alive:
+                    raise ValueError(f"tree sink {sink} is not alive")
+            else:
+                sink = int(sorted(alive)[self._rng.integers(0, len(alive))])
         elif sink not in alive:
             raise ValueError(f"sink {sink} is not alive")
+        if tree is not None and tree.sink != sink:
+            raise ValueError(
+                f"prebuilt tree is rooted at {tree.sink}, not at sink {sink}"
+            )
         self._check_threshold_reuse(query)
         self._query_counter += 1
         query_id = self._query_counter
@@ -188,21 +204,8 @@ class QueryExecutor:
             )
             matching_alive = frozenset(node for node in matching_all if node in alive)
 
-            prefer: frozenset[int] = frozenset()
-            if query.use_snapshot and self.prefer_representative_routing:
-                prefer = frozenset(
-                    node_id
-                    for node_id, node in runtime.nodes.items()
-                    if node.mode is not NodeMode.PASSIVE and node.alive
-                )
-            tree = AggregationTree.build(
-                runtime.topology,
-                sink,
-                alive,
-                self._rng,
-                loss_model=runtime.radio.loss_model,
-                prefer=prefer,
-            )
+            if tree is None:
+                tree = self.build_tree(sink, alive, use_snapshot=query.use_snapshot)
 
             if query.use_snapshot:
                 bundles = self._snapshot_bundles(query, tree)
@@ -248,6 +251,37 @@ class QueryExecutor:
             participants=result.n_participants, coverage=result.coverage(),
         )
         return result
+
+    def build_tree(
+        self,
+        sink: int,
+        alive: Optional[set[int]] = None,
+        use_snapshot: bool = False,
+    ) -> AggregationTree:
+        """Flood one aggregation tree rooted at ``sink``.
+
+        Factored out of :meth:`execute` so the serving front-end can
+        build the tree once per batch of same-sink queries and pass it
+        back through ``execute(tree=...)``.
+        """
+        runtime = self.runtime
+        if alive is None:
+            alive = set(runtime.alive_ids())
+        prefer: frozenset[int] = frozenset()
+        if use_snapshot and self.prefer_representative_routing:
+            prefer = frozenset(
+                node_id
+                for node_id, node in runtime.nodes.items()
+                if node.mode is not NodeMode.PASSIVE and node.alive
+            )
+        return AggregationTree.build(
+            runtime.topology,
+            sink,
+            alive,
+            self._rng,
+            loss_model=runtime.radio.loss_model,
+            prefer=prefer,
+        )
 
     # ------------------------------------------------------------------
     # responder selection

@@ -30,7 +30,65 @@ from repro.core.status import NodeMode
 from repro.query.ast import Query
 from repro.query.executor import QueryExecutor, QueryResult
 
-__all__ = ["QueryPlan", "QueryPlanner"]
+__all__ = ["QueryPlan", "QueryCostEstimate", "QueryPlanner"]
+
+#: Byte model of the dispatch cost estimates, in the style of the
+#: distributed query-cost exemplars: a fixed per-message envelope plus
+#: eight bytes per numeric field and one per flag.
+MESSAGE_HEADER_BYTES = 12
+FIELD_BYTES = 8
+FLAG_BYTES = 1
+
+#: One drill-through measurement report: query id, origin, value + the
+#: ``estimated`` flag.
+REPORT_BYTES = MESSAGE_HEADER_BYTES + 3 * FIELD_BYTES + FLAG_BYTES
+
+#: One partial aggregate: query id, count, total, minimum, maximum.
+AGGREGATE_BYTES = MESSAGE_HEADER_BYTES + 5 * FIELD_BYTES
+
+
+@dataclass(frozen=True)
+class QueryCostEstimate:
+    """Pre-dispatch resource estimate for one query execution.
+
+    The serving front-end admits or rejects queries on these numbers
+    (cost-based admission): everything is computable from information a
+    base station legitimately has — node locations, the snapshot
+    structure, radio ranges — before any message is sent.
+
+    Attributes
+    ----------
+    use_snapshot:
+        The execution mode the estimate describes.
+    responders:
+        Nodes expected to produce measurements (upper bound: tree
+        membership and model misses can only shrink it).
+    nodes_touched:
+        Expected distinct participants — responders plus routing nodes
+        on their tree paths, capped at the alive population.
+    bytes_on_network:
+        Expected bytes transmitted over all sampling rounds.
+    selectivity:
+        Fraction of alive nodes inside the query's spatial predicate.
+    transmissions:
+        Expected transmissions per sampling round (the
+        :class:`QueryPlan` cost model).
+    rounds:
+        Sampling rounds the acquisition clauses imply.
+    """
+
+    use_snapshot: bool
+    responders: int
+    nodes_touched: int
+    bytes_on_network: float
+    selectivity: float
+    transmissions: float
+    rounds: int
+
+    @property
+    def total_transmissions(self) -> float:
+        """Transmissions over the query's whole lifetime."""
+        return self.transmissions * self.rounds
 
 
 @dataclass(frozen=True)
@@ -80,29 +138,41 @@ class QueryPlanner:
     def _mean_hops(self) -> float:
         """Expected tree-path length: mean pairwise distance over range."""
         topology = self.runtime.topology
+        if not len(topology):
+            raise ValueError(
+                "cannot estimate hop counts over an empty topology "
+                "(no nodes, hence no transmission ranges)"
+            )
         reach = min(topology.range_of(node) for node in topology.node_ids)
         # expected distance between two uniform points on the unit
         # square is ~0.52; every hop covers at most one range
         return max(1.0, 0.52 / reach)
 
-    def estimate_regular_cost(self, query: Query) -> float:
-        """Transmissions per round: every matching alive node reports."""
+    def regular_responders(self, query: Query) -> frozenset[int]:
+        """Alive nodes inside the spatial predicate (regular execution).
+
+        A value predicate can only shrink the actual responder set, so
+        this is an upper bound on who reports.
+        """
         topology = self.runtime.topology
-        alive = set(self.runtime.alive_ids())
-        responders = sum(
-            1
-            for node_id in alive
+        return frozenset(
+            node_id
+            for node_id in self.runtime.alive_ids()
             if query.region.contains(*topology.position(node_id))
         )
-        if query.is_aggregate:
-            # TAG: one message per participant; routers shared
-            return responders + self._mean_hops()
-        return responders * (1.0 + self._mean_hops())
 
-    def estimate_snapshot_cost(self, query: Query) -> float:
-        """Transmissions per round: covering representatives report."""
-        responders = 0
-        for node in self.runtime.nodes.values():
+    def snapshot_responders(self, query: Query) -> frozenset[int]:
+        """Non-passive alive nodes covering the region (snapshot execution).
+
+        A node covers the query when its own location matches or, for a
+        representative, when any member location learned from the
+        Accept messages matches (§3.1).  Tree membership, value
+        predicates and model-estimate misses can only shrink the actual
+        responder set, so the planned set is a superset of the
+        executed one (property-tested in ``tests/query``).
+        """
+        responders = []
+        for node_id, node in self.runtime.nodes.items():
             if not node.alive or node.mode is NodeMode.PASSIVE:
                 continue
             x, y = node.location
@@ -115,10 +185,77 @@ class QueryPlanner:
                     )
                 )
             if covers:
-                responders += 1
+                responders.append(node_id)
+        return frozenset(responders)
+
+    def _transmissions_per_round(self, query: Query, responders: int) -> float:
         if query.is_aggregate:
+            # TAG: one message per participant; routers shared
             return responders + self._mean_hops()
         return responders * (1.0 + self._mean_hops())
+
+    def estimate_regular_cost(self, query: Query) -> float:
+        """Transmissions per round: every matching alive node reports."""
+        return self._transmissions_per_round(query, len(self.regular_responders(query)))
+
+    def estimate_snapshot_cost(self, query: Query) -> float:
+        """Transmissions per round: covering representatives report."""
+        return self._transmissions_per_round(
+            query, len(self.snapshot_responders(query))
+        )
+
+    def spatial_selectivity(self, query: Query) -> float:
+        """Fraction of alive nodes the spatial predicate selects.
+
+        The planner evaluates the predicate against the known node
+        locations rather than integrating region areas, so irregular
+        deployments are estimated exactly.  An empty network has
+        selectivity 0 by convention.
+        """
+        alive = self.runtime.alive_ids()
+        if not alive:
+            return 0.0
+        topology = self.runtime.topology
+        matching = sum(
+            1 for node_id in alive if query.region.contains(*topology.position(node_id))
+        )
+        return matching / len(alive)
+
+    def estimate_cost(
+        self, query: Query, use_snapshot: Optional[bool] = None
+    ) -> QueryCostEstimate:
+        """Full pre-dispatch estimate for ``query`` in one execution mode.
+
+        ``use_snapshot`` defaults to the mode the query itself asks for;
+        the serving front-end passes the planned mode.  Bytes follow the
+        distributed query-cost byte model (header + fields per message);
+        node counts are capped at the alive population.
+        """
+        if use_snapshot is None:
+            use_snapshot = query.use_snapshot
+        responder_ids = (
+            self.snapshot_responders(query)
+            if use_snapshot
+            else self.regular_responders(query)
+        )
+        responders = len(responder_ids)
+        hops = self._mean_hops()
+        n_alive = len(self.runtime.alive_ids())
+        if query.is_aggregate:
+            routers = hops  # one shared path of partial aggregates
+            bytes_per_round = responders * REPORT_BYTES + routers * AGGREGATE_BYTES
+        else:
+            routers = responders * hops  # every bundle forwarded hop-by-hop
+            bytes_per_round = responders * (1.0 + hops) * REPORT_BYTES
+        return QueryCostEstimate(
+            use_snapshot=use_snapshot,
+            responders=responders,
+            nodes_touched=min(n_alive, responders + math.ceil(routers)),
+            bytes_on_network=bytes_per_round * query.rounds,
+            selectivity=self.spatial_selectivity(query),
+            transmissions=self._transmissions_per_round(query, responders),
+            rounds=query.rounds,
+        )
 
     # ------------------------------------------------------------------
     # planning
@@ -181,15 +318,27 @@ class QueryPlanner:
             reason=reason,
         )
 
+    def rewrite(self, query: Query, plan: QueryPlan) -> Query:
+        """Rewrite ``query`` to the mode ``plan`` chose.
+
+        When a :class:`MultiResolutionSnapshot` resolved the query's
+        threshold to a view, the threshold is *dropped* from the planned
+        query: the planner already routed the query to a usable
+        resolution, and keeping the raw threshold would trip the
+        executor's single-snapshot reuse check whenever the resolved
+        view is tighter than the runtime's own election threshold.
+        """
+        from dataclasses import replace
+
+        keep_threshold = plan.use_snapshot and self.multi is None
+        return replace(
+            query,
+            use_snapshot=plan.use_snapshot,
+            snapshot_threshold=query.snapshot_threshold if keep_threshold else None,
+        )
+
     def execute(self, query: Query, **kwargs) -> tuple[QueryPlan, QueryResult]:
         """Plan, rewrite the query to the chosen mode, and execute it."""
         plan = self.plan(query)
-        from dataclasses import replace
-
-        planned_query = replace(
-            query,
-            use_snapshot=plan.use_snapshot,
-            snapshot_threshold=query.snapshot_threshold if plan.use_snapshot else None,
-        )
-        result = self.executor.execute(planned_query, **kwargs)
+        result = self.executor.execute(self.rewrite(query, plan), **kwargs)
         return plan, result

@@ -48,6 +48,31 @@ class TestResolutions:
         assert runtime.nodes[0].config.threshold == original
         assert runtime.coordinator.config.threshold == original
 
+    def test_runtime_threshold_restored_when_election_raises(self, monkeypatch):
+        """Regression: an election failing mid-build used to leave every
+        node (and the coordinator) scoped to the failed threshold."""
+        runtime = trained()
+        original = runtime.config.threshold
+        real_election = runtime.run_election
+        calls = {"count": 0}
+
+        def flaky(at=None):
+            calls["count"] += 1
+            if calls["count"] == 2:
+                raise RuntimeError("election round lost")
+            return real_election(at=at)
+
+        monkeypatch.setattr(runtime, "run_election", flaky)
+        multi = MultiResolutionSnapshot(runtime, [0.5, 5.0])
+        with pytest.raises(RuntimeError, match="election round lost"):
+            multi.build()
+        assert runtime.coordinator.config.threshold == original
+        assert all(
+            node.config.threshold == original for node in runtime.nodes.values()
+        )
+        # the view that settled before the failure is still usable
+        assert set(multi.views) == {0.5}
+
     def test_sizes_accessor(self):
         runtime = trained()
         multi = MultiResolutionSnapshot(runtime, [1.0, 10.0])

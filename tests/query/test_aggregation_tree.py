@@ -115,3 +115,57 @@ class TestRouters:
         )
         assert tree.subtree_size(1) == 3  # nodes 1, 2, 3 route through 1
         assert tree.subtree_size(0) == 4
+
+
+def naive_path(tree: AggregationTree, member: int) -> list[int]:
+    """The pre-memoization walk: follow parents until the sink."""
+    path = [member]
+    while path[-1] != tree.sink:
+        path.append(tree.parents[path[-1]])
+    return path
+
+
+class TestMemoization:
+    """Memoized paths/sizes must match the naive walk on a pinned tree."""
+
+    def pinned_tree(self) -> AggregationTree:
+        topo = grid_topology(5, transmission_range=1.1)  # multi-hop
+        return AggregationTree.build(
+            topo, sink=0, alive=set(topo.node_ids), rng=np.random.default_rng(7)
+        )
+
+    def test_paths_match_naive_walk(self):
+        tree = self.pinned_tree()
+        for member in sorted(tree.members):
+            assert tree.path_to_sink(member) == naive_path(tree, member)
+
+    def test_returned_path_is_a_private_copy(self):
+        tree = self.pinned_tree()
+        first = tree.path_to_sink(24)
+        first.append(-1)  # caller mutation must not poison the memo
+        assert tree.path_to_sink(24) == naive_path(tree, 24)
+
+    def test_routers_match_naive_union(self):
+        tree = self.pinned_tree()
+        for responders in ([24], [24, 12], [6, 18, 23], sorted(tree.members)):
+            expected: set[int] = set()
+            for responder in responders:
+                expected.update(naive_path(tree, responder)[1:-1])
+            expected -= set(responders)
+            assert tree.routers_for(responders) == frozenset(expected)
+
+    def test_subtree_sizes_match_naive_counts(self):
+        tree = self.pinned_tree()
+        for node in sorted(tree.members):
+            expected = sum(
+                1 for member in tree.members if node in naive_path(tree, member)
+            )
+            assert tree.subtree_size(node) == expected
+        assert tree.subtree_size(10_000) == 0  # non-member
+
+    def test_handmade_tree_without_depths(self):
+        # subtree_size must derive depths when the dict is omitted
+        tree = AggregationTree(sink=0, parents={0: 0, 1: 0, 2: 1, 3: 1})
+        assert tree.subtree_size(1) == 3
+        assert tree.subtree_size(0) == 4
+        assert tree.path_to_sink(3) == [3, 1, 0]

@@ -1,0 +1,105 @@
+"""Tests for the epoch-keyed result cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.cache import EpochResultCache
+
+V0 = (1, 0)
+V1 = (2, 0)
+V2 = (2, 3)
+
+
+class TestValidation:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EpochResultCache(0)
+        with pytest.raises(ValueError):
+            EpochResultCache(-5)
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = EpochResultCache()
+        assert cache.get(V0, "k") is None
+        cache.put(V0, "k", 41)
+        assert cache.get(V0, "k") == 41
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_version_property_tracks_last_sync(self):
+        cache = EpochResultCache()
+        assert cache.version is None
+        cache.put(V0, "k", 1)
+        assert cache.version == V0
+        cache.get(V1, "k")
+        assert cache.version == V1
+
+    def test_clear_drops_entries_keeps_counters(self):
+        cache = EpochResultCache()
+        cache.put(V0, "a", 1)
+        cache.get(V0, "a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+        # the version survives a clear: entries are gone, not stale
+        assert cache.version == V0
+
+
+class TestLRU:
+    def test_eviction_beyond_capacity(self):
+        cache = EpochResultCache(capacity=2)
+        cache.put(V0, "a", 1)
+        cache.put(V0, "b", 2)
+        cache.put(V0, "c", 3)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.get(V0, "a") is None  # oldest went first
+
+    def test_get_refreshes_recency(self):
+        cache = EpochResultCache(capacity=2)
+        cache.put(V0, "a", 1)
+        cache.put(V0, "b", 2)
+        cache.get(V0, "a")  # now "b" is least recent
+        cache.put(V0, "c", 3)
+        assert cache.get(V0, "a") == 1
+        assert cache.get(V0, "b") is None
+
+
+class TestVersioning:
+    def test_newer_version_invalidates_everything(self):
+        cache = EpochResultCache()
+        cache.put(V0, "a", 1)
+        cache.put(V0, "b", 2)
+        assert cache.get(V1, "a") is None
+        assert len(cache) == 0
+        assert cache.invalidations == 1
+        assert cache.version == V1
+
+    def test_reelection_component_compares_after_epoch(self):
+        cache = EpochResultCache()
+        cache.put(V1, "a", 1)
+        assert cache.get(V2, "a") is None  # (2, 3) > (2, 0): flushed
+        assert cache.invalidations == 1
+
+    def test_stale_reader_misses_without_flushing(self):
+        cache = EpochResultCache()
+        cache.put(V1, "a", 1)
+        assert cache.get(V0, "a") is None
+        assert cache.misses == 1
+        # the current-version entry survived the stale probe
+        assert cache.get(V1, "a") == 1
+
+    def test_stale_writer_is_dropped(self):
+        cache = EpochResultCache()
+        cache.put(V1, "a", 1)
+        cache.put(V0, "a", 999)  # computed against a dead structure
+        assert cache.get(V1, "a") == 1
+
+    def test_same_version_put_overwrites(self):
+        cache = EpochResultCache()
+        cache.put(V0, "a", 1)
+        cache.put(V0, "a", 2)
+        assert cache.get(V0, "a") == 2
+        assert cache.invalidations == 0

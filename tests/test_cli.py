@@ -25,6 +25,24 @@ class TestParser:
         args = build_parser().parse_args(["experiment", "fig6"])
         assert args.id == "fig6"
 
+    def test_serve_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--queries", "100", "--clients", "4", "--no-cache",
+             "--max-cost", "500", "--sink", "2"]
+        )
+        assert args.queries == 100
+        assert args.clients == 4
+        assert args.no_cache
+        assert args.max_cost == 500.0
+        assert args.sink == 2
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.queries == 500
+        assert args.clients == 8
+        assert not args.no_cache
+        assert args.max_cost is None
+
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -69,6 +87,27 @@ class TestCommands:
         code = main(["query", "DROP TABLE sensors", "--nodes", "20"])
         assert code == 2
         assert "syntax error" in capsys.readouterr().err
+
+    def test_serve_runs(self, capsys):
+        code = main(
+            ["serve", "--nodes", "20", "--classes", "2", "--seed", "1",
+             "--queries", "40", "--clients", "4", "--templates", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served : 40 queries" in out
+        assert "qps    :" in out
+        assert "cache  :" in out
+
+    def test_serve_without_cache(self, capsys):
+        code = main(
+            ["serve", "--nodes", "20", "--classes", "2", "--seed", "1",
+             "--queries", "20", "--clients", "2", "--no-cache"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(cache off)" in out
+        assert "0/20 served cached" in out
 
     def test_unknown_experiment(self, capsys):
         code = main(["experiment", "fig99"])
