@@ -94,7 +94,13 @@ class ProtocolNode:
         self.value_fn = value_fn
         self.location = location
         self.simulator = radio.simulator
-        self._rng = self.simulator.random.stream("protocol")
+        # Per-entity RNG discipline gives each node its own stream so a
+        # sharded run draws identically to the single-process reference
+        # regardless of how node events interleave across shards.
+        if config.rng_discipline == "per-entity":
+            self._rng = self.simulator.random.stream(f"protocol.{node_id}")
+        else:
+            self._rng = self.simulator.random.stream("protocol")
 
         # public protocol state
         self.mode = NodeMode.UNDEFINED

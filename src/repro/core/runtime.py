@@ -120,6 +120,7 @@ class SnapshotRuntime:
         keep_trace_records: bool = False,
         metrics_enabled: bool = True,
         batched_rounds: bool = True,
+        local_ids=None,
     ) -> None:
         if dataset.n_nodes < len(topology):
             raise ValueError(
@@ -130,6 +131,15 @@ class SnapshotRuntime:
         self.dataset = dataset
         self.config = config if config is not None else ProtocolConfig()
         self.seed = seed
+        #: Sharded-engine internal: when set, this runtime instantiates
+        #: only the listed nodes (protocol state, devices, batteries,
+        #: caches) while keeping the *full* topology for range/loss
+        #: computations.  Requires the per-entity RNG discipline.
+        self.local_ids = None if local_ids is None else frozenset(local_ids)
+        if self.local_ids is not None and self.config.rng_discipline != "per-entity":
+            raise ValueError(
+                "a shard-local runtime requires rng_discipline='per-entity'"
+            )
         self.simulator = Simulator(
             seed=seed,
             keep_trace_records=keep_trace_records,
@@ -140,13 +150,19 @@ class SnapshotRuntime:
             topology,
             loss_model=loss_model,
             cost_model=cost_model,
+            rng_discipline=self.config.rng_discipline,
         )
-        self.radio.populate(battery_capacity=battery_capacity)
+        self.radio.populate(
+            battery_capacity=battery_capacity,
+            ids=None if self.local_ids is None else sorted(self.local_ids),
+        )
         if cache_factory is None:
             cache_factory = _default_cache_factory
 
         self.nodes: dict[int, ProtocolNode] = {}
         for node_id in topology.node_ids:
+            if self.local_ids is not None and node_id not in self.local_ids:
+                continue
             store = NeighborModelStore(cache_factory())
             self.nodes[node_id] = ProtocolNode(
                 node_id=node_id,
@@ -303,6 +319,21 @@ class SnapshotRuntime:
         correlation models.  The simulator is advanced past the end of
         the window.
         """
+        end = self._schedule_train(start=start, duration=duration, interval=interval)
+        self.simulator.run_until(end)
+
+    def _schedule_train(
+        self,
+        start: Optional[float] = None,
+        duration: float = 10.0,
+        interval: float = 1.0,
+    ) -> float:
+        """Schedule the training window's events; returns its end time.
+
+        Split from :meth:`train` so the sharded engine can plant the
+        identical event schedule in every shard and then advance them
+        under its window protocol instead of ``run_until``.
+        """
         if duration <= 0 or interval <= 0:
             raise ValueError("training duration and interval must be positive")
         t0 = self.simulator.now if start is None else start
@@ -321,7 +352,7 @@ class SnapshotRuntime:
         self.simulator.schedule_at(
             end, partial(self._set_snoop, saved), label="train:snoop-restore"
         )
-        self.simulator.run_until(end)
+        return end
 
     def _set_snoop(self, probability: Optional[dict[int, float]]) -> None:
         """Set every node's snoop probability (``None`` = 1.0, training)."""
@@ -332,17 +363,20 @@ class SnapshotRuntime:
 
     def _train_broadcast(self) -> None:
         """One training tick: every alive node broadcasts a data report."""
-        for node_id in sorted(self.nodes):
-            node = self.nodes[node_id]
-            if node.alive:
-                self.radio.broadcast(
-                    DataReport(
-                        sender=node_id,
-                        query_id=0,
-                        origin=node_id,
-                        value=node.value_fn(),
-                    )
-                )
+        simulator = self.simulator
+        with simulator.fanout():
+            for node_id in sorted(self.nodes):
+                node = self.nodes[node_id]
+                if node.alive:
+                    with simulator.branch(node_id):
+                        self.radio.broadcast(
+                            DataReport(
+                                sender=node_id,
+                                query_id=0,
+                                origin=node_id,
+                                value=node.value_fn(),
+                            )
+                        )
 
     def run_election(self, at: Optional[float] = None) -> SnapshotView:
         """Run one global election and return the settled snapshot."""

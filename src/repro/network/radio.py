@@ -73,6 +73,16 @@ class Radio:
         them into one batch preserves the global firing order and the
         simulation trajectory bit-for-bit (pinned by a golden-trace
         test).  ``False`` keeps the legacy per-receiver event path.
+    rng_discipline:
+        ``"shared"`` (default) draws loss from the one ``radio`` stream
+        with dead receivers filtered *before* sampling.  ``"per-entity"``
+        draws from a ``radio.<sender>`` stream per sender and samples
+        loss over the sender's *full* out-neighborhood — dead receivers
+        are filtered (and booked as ``dropped_dead``) at delivery time
+        instead.  That makes the draw count independent of remote node
+        state, which is what lets a sharded sender transmit without
+        knowing whether a receiver in another shard is alive.  Requires
+        ``batch_fanout``.
     """
 
     def __init__(
@@ -85,9 +95,14 @@ class Radio:
         ledger: Optional[EnergyLedger] = None,
         latency: float = 0.001,
         batch_fanout: bool = True,
+        rng_discipline: str = "shared",
     ) -> None:
         if latency < 0:
             raise ValueError(f"latency must be non-negative, got {latency}")
+        if rng_discipline not in ("shared", "per-entity"):
+            raise ValueError(f"unknown rng_discipline {rng_discipline!r}")
+        if rng_discipline == "per-entity" and not batch_fanout:
+            raise ValueError("per-entity rng_discipline requires batch_fanout")
         self.simulator = simulator
         self.topology = topology
         self.loss_model = loss_model
@@ -103,6 +118,17 @@ class Radio:
         self.batch_fanout = batch_fanout
         self._nodes: dict[int, NetworkNode] = {}
         self._rng = simulator.random.stream("radio")
+        self.rng_discipline = rng_discipline
+        self._per_entity = rng_discipline == "per-entity"
+        self._entity_rngs: dict[int, object] = {}
+        #: Sharded-engine hooks (see ``simulation.sharded``): when
+        #: ``shard_local_ids`` is set, this radio owns only that subset
+        #: of the topology's nodes; deliveries to remote receivers are
+        #: emitted through ``handoff_sink`` as
+        #: :class:`~repro.network.handoff.RadioHandoff` records instead
+        #: of being scheduled locally.
+        self.shard_local_ids = None
+        self.handoff_sink = None
         #: Optional :class:`~repro.core.round_batch.BatchedObservationRouter`
         #: attached by the runtime when ``batched_rounds`` is on.
         #: Protocol handlers consult it to divert overheard measurement
@@ -121,7 +147,11 @@ class Radio:
         self._nodes[node.node_id] = node
         return node
 
-    def populate(self, battery_capacity: Optional[float] = None) -> list[NetworkNode]:
+    def populate(
+        self,
+        battery_capacity: Optional[float] = None,
+        ids=None,
+    ) -> list[NetworkNode]:
         """Create and register one device per topology node.
 
         Parameters
@@ -129,11 +159,14 @@ class Radio:
         battery_capacity:
             Initial charge per node in transmission units, or ``None``
             for infinite batteries.
+        ids:
+            Subset of topology ids to register (sharded engines own only
+            their partition's nodes); all of them by default.
         """
         from repro.energy.battery import Battery
 
         nodes = []
-        for node_id in self.topology.node_ids:
+        for node_id in self.topology.node_ids if ids is None else ids:
             nodes.append(self.register(NetworkNode(node_id, Battery(battery_capacity))))
         return nodes
 
@@ -210,6 +243,97 @@ class Radio:
             self.stats.record_dropped_dead(message, dead)
         self._fanout.observe(alive)
 
+    def _sender_rng(self, sender: int):
+        rng = self._entity_rngs.get(sender)
+        if rng is None:
+            rng = self._entity_rngs[sender] = self.simulator.random.stream(
+                f"radio.{sender}"
+            )
+        return rng
+
+    def _transmit_entity(self, message: Message, target: Optional[int]) -> None:
+        """Per-entity fan-out: loss sampled over the full neighborhood.
+
+        The draw comes from the sender's own ``radio.<sender>`` stream
+        and covers every in-range receiver regardless of liveness, so
+        neither interleaving with other senders nor remote node state
+        changes the stream position.  Dead receivers among the loss
+        survivors are filtered — and booked as ``dropped_dead`` — when
+        the batch is delivered, in the receiver's own shard.
+        """
+        sender = message.sender
+        receivers = self.topology.out_neighbors(sender)
+        self._fanout.observe(len(receivers))
+        if not receivers:
+            return
+        outcomes = self.loss_model.loss_vector(
+            sender, receivers, self._sender_rng(sender)
+        )
+        if outcomes.all():
+            survivors = receivers
+        else:
+            self.stats.record_dropped(message, len(receivers) - int(outcomes.sum()))
+            survivors = [rid for rid, ok in zip(receivers, outcomes) if ok]
+            if not survivors:
+                return
+        local_ids = self.shard_local_ids
+        if local_ids is None:
+            nodes = self._nodes
+            pending = [
+                (nodes[rid], target is not None and rid != target)
+                for rid in survivors
+            ]
+            self._schedule_batch(message, pending)
+            return
+        nodes = self._nodes
+        pending = []
+        remote = []
+        for rid in survivors:
+            overheard = target is not None and rid != target
+            if rid in local_ids:
+                pending.append((nodes[rid], overheard))
+            else:
+                remote.append((rid, overheard))
+        # One stamp per transmission, shared by the local batch and all
+        # handoff copies: the receiving shards' entries then merge back
+        # into the single delivery the reference run schedules.
+        simulator = self.simulator
+        lineage = simulator.lineage
+        stamp = None if lineage is None else lineage.next_stamp(simulator.now)
+        arrival = simulator.now + self.latency
+        label = f"deliver:{message.kind}"
+        if pending:
+            simulator.inject_transient_at(
+                arrival,
+                partial(self._deliver_batch, message, pending),
+                label=label,
+                priority=DELIVERY_PRIORITY,
+                sortkey=stamp,
+            )
+        if remote:
+            from repro.network.handoff import RadioHandoff
+
+            self.handoff_sink(
+                RadioHandoff(
+                    time=arrival,
+                    stamp=stamp,
+                    message=message,
+                    receivers=tuple(remote),
+                )
+            )
+
+    def receive_handoff(self, handoff) -> None:
+        """Insert a boundary-crossing delivery minted by another shard."""
+        nodes = self._nodes
+        pending = [(nodes[rid], overheard) for rid, overheard in handoff.receivers]
+        self.simulator.inject_transient_at(
+            handoff.time,
+            partial(self._deliver_batch, handoff.message, pending),
+            label=f"deliver:{handoff.message.kind}",
+            priority=DELIVERY_PRIORITY,
+            sortkey=handoff.stamp,
+        )
+
     def _transmit_batched(self, message: Message, target: Optional[int]) -> None:
         """Batched fan-out: one blocked loss draw and one delivery event.
 
@@ -217,6 +341,9 @@ class Radio:
         exactly where the scalar path skips them — so they consume no
         RNG draws and the two paths stay draw-for-draw identical.
         """
+        if self._per_entity:
+            self._transmit_entity(message, target)
+            return
         nodes_get = self._nodes.get
         alive_ids: list[int] = []
         alive_nodes: list[NetworkNode] = []
@@ -268,14 +395,39 @@ class Radio:
     ) -> None:
         cost_receive = self.cost_model.receive
         record_delivered = self.stats.record_delivered
-        for receiver, overheard in pending:
-            if not receiver.alive:
-                continue
-            receiver.battery.draw(cost_receive)
-            if cost_receive > 0:
-                self.ledger.record(receiver.node_id, "receive", cost_receive)
-            record_delivered(receiver.node_id, message)
-            receiver.deliver(message, overheard)
+        per_entity = self._per_entity
+        lineage = self.simulator.lineage
+        if lineage is None:
+            for receiver, overheard in pending:
+                if not receiver.alive:
+                    if per_entity:
+                        self.stats.record_dropped_dead(message, 1)
+                    continue
+                receiver.battery.draw(cost_receive)
+                if cost_receive > 0:
+                    self.ledger.record(receiver.node_id, "receive", cost_receive)
+                record_delivered(receiver.node_id, message)
+                receiver.deliver(message, overheard)
+            return
+        # Lineage mode: each receiver's handler runs in a branch scope so
+        # the events it schedules align on the receiver id across shards.
+        fan_token = lineage.fan_begin()
+        try:
+            for receiver, overheard in pending:
+                if not receiver.alive:
+                    self.stats.record_dropped_dead(message, 1)
+                    continue
+                branch_token = lineage.branch_begin(receiver.node_id)
+                try:
+                    receiver.battery.draw(cost_receive)
+                    if cost_receive > 0:
+                        self.ledger.record(receiver.node_id, "receive", cost_receive)
+                    record_delivered(receiver.node_id, message)
+                    receiver.deliver(message, overheard)
+                finally:
+                    lineage.branch_end(branch_token)
+        finally:
+            lineage.fan_end(fan_token)
 
     def _schedule_delivery(
         self, receiver: NetworkNode, message: Message, overheard: bool

@@ -146,6 +146,17 @@ class Topology:
         """Nodes whose transmissions reach ``receiver`` (precomputed)."""
         return self._in_neighbors[receiver]
 
+    def directed_links(self) -> Iterator[tuple[int, int]]:
+        """All ``(sender, receiver)`` pairs the radio can traverse.
+
+        Yielded in ascending ``(sender, receiver)`` order — the same
+        enumeration the partitioner classifies into intra-shard and
+        boundary links, so the two views tile the link set exactly.
+        """
+        for sender, hearers in enumerate(self._out_neighbors):
+            for receiver in hearers:
+                yield (sender, receiver)
+
     def can_transmit(self, sender: int, receiver: int) -> bool:
         """Whether ``sender``'s radio reaches ``receiver``.
 

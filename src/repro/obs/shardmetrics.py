@@ -1,0 +1,143 @@
+"""Export / merge of :class:`~repro.obs.registry.MetricsRegistry` state.
+
+The sharded engine (``simulation.sharded``) runs each partition's
+metrics in its own registry; proving the merged run equal to the
+single-process reference requires folding those registries back into
+one whose export rows are *identical* to the reference's.  That works
+because every metric the simulation records is mergeable by key-wise
+summation without float error:
+
+* counter cells are integers (message counts, round counts) or floats
+  accumulated by a single owning shard (``energy.draw`` cells are keyed
+  by node, and all of a node's events fire in its owner shard);
+* histogram observations are integer-valued (``net.fanout``) or emitted
+  only by the shard-0 spine (``span.duration``);
+* ``maintenance.msgs_per_node`` is the one genuinely global histogram —
+  the merge rebuilds it from the merged per-round costs instead of
+  summing cells (see :func:`merge_metrics`'s ``maintenance_costs``).
+
+Gauges cannot be summed; the merge requires shards to agree on any
+gauge cell they share.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.obs.registry import (
+    CounterMetric,
+    GaugeMetric,
+    HistogramCell,
+    HistogramMetric,
+    MetricsRegistry,
+)
+
+__all__ = ["export_metrics", "merge_metrics"]
+
+
+def export_metrics(registry: MetricsRegistry) -> dict[str, Any]:
+    """A picklable snapshot of every metric definition and cell."""
+    metrics = {}
+    for name in registry.names():
+        metric = registry.metric(name)
+        entry: dict[str, Any] = {
+            "kind": metric.kind,
+            "labels": metric.label_names,
+            "essential": metric.essential,
+        }
+        if isinstance(metric, HistogramMetric):
+            entry["uppers"] = metric.uppers
+            entry["cells"] = {
+                key: (list(cell.counts), cell.count, cell.sum)
+                for key, cell in metric.cells.items()
+            }
+        else:
+            entry["cells"] = dict(metric.cells)
+        metrics[name] = entry
+    return {"enabled": registry.enabled, "metrics": metrics}
+
+
+def _define(registry: MetricsRegistry, name: str, entry: dict[str, Any]):
+    if entry["kind"] == "counter":
+        return registry.counter(name, labels=entry["labels"], essential=entry["essential"])
+    if entry["kind"] == "gauge":
+        return registry.gauge(name, labels=entry["labels"], essential=entry["essential"])
+    return registry.histogram(
+        name, entry["uppers"], labels=entry["labels"], essential=entry["essential"]
+    )
+
+
+def merge_metrics(
+    exports: Iterable[dict[str, Any]],
+    maintenance_costs: Optional[list[float]] = None,
+) -> MetricsRegistry:
+    """Fold per-shard registry exports into one equivalent registry.
+
+    Parameters
+    ----------
+    exports:
+        One :func:`export_metrics` snapshot per shard.
+    maintenance_costs:
+        The merged per-round Figure-15 costs; when given, the
+        ``maintenance.msgs_per_node`` histogram is rebuilt by observing
+        them in round order (matching the reference's chronological
+        accumulation) instead of summing per-shard cells — the shards
+        record raw ingredients, not finished costs.
+    """
+    exports = list(exports)
+    if not exports:
+        raise ValueError("need at least one metrics export to merge")
+    enabled = {export["enabled"] for export in exports}
+    if len(enabled) != 1:
+        raise ValueError(f"shards disagree on metrics enablement: {enabled}")
+    merged = MetricsRegistry(enabled=enabled.pop())
+    rebuilt_cost_name = "maintenance.msgs_per_node"
+    for export in exports:
+        for name, entry in export["metrics"].items():
+            metric = _define(merged, name, entry)
+            if maintenance_costs is not None and name == rebuilt_cost_name:
+                continue
+            if isinstance(metric, CounterMetric):
+                for key, value in entry["cells"].items():
+                    metric.cells[key] += value
+            elif isinstance(metric, GaugeMetric):
+                for key, value in entry["cells"].items():
+                    existing = metric.cells.get(key)
+                    if existing is not None and existing != value:
+                        raise ValueError(
+                            f"gauge {name!r} cell {key!r} diverges across "
+                            f"shards: {existing} != {value}"
+                        )
+                    metric.cells[key] = value
+            else:
+                assert isinstance(metric, HistogramMetric)
+                for key, (counts, count, total) in entry["cells"].items():
+                    cell = metric.cells.get(key)
+                    if cell is None:
+                        cell = metric.cells[key] = HistogramCell(
+                            [0] * (len(metric.uppers) + 1)
+                        )
+                    for index, bucket_count in enumerate(counts):
+                        cell.counts[index] += bucket_count
+                    cell.count += count
+                    cell.sum += total
+    if maintenance_costs is not None:
+        defined = any(
+            rebuilt_cost_name in export["metrics"] for export in exports
+        )
+        if defined:
+            first = next(
+                export["metrics"][rebuilt_cost_name]
+                for export in exports
+                if rebuilt_cost_name in export["metrics"]
+            )
+            histogram = merged.histogram(
+                rebuilt_cost_name,
+                first["uppers"],
+                labels=first["labels"],
+                essential=first["essential"],
+            )
+            if merged.enabled:
+                for cost in maintenance_costs:
+                    histogram.observe(cost)
+    return merged

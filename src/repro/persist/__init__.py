@@ -27,6 +27,11 @@ from repro.persist.digest import (
     digest_components,
     state_digest,
 )
+from repro.persist.merge import (
+    export_shard_state,
+    merge_shard_states,
+    merged_state_digest,
+)
 
 __all__ = [
     "FORMAT_VERSION",
@@ -42,5 +47,8 @@ __all__ = [
     "callback_descriptor",
     "canonical_bytes",
     "digest_components",
+    "export_shard_state",
+    "merge_shard_states",
+    "merged_state_digest",
     "state_digest",
 ]

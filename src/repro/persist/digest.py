@@ -180,68 +180,79 @@ def _hexdigest(obj: Any) -> str:
 # ----------------------------------------------------------------------
 
 
-def _event_entry(queue: Any, entry: tuple) -> tuple:
-    time, priority, seq, tail = entry
-    if isinstance(tail, int):  # transient slab slot — never cancellable
-        return (
-            time,
-            priority,
-            seq,
-            queue._slab_label[tail],
-            False,
-            callback_descriptor(queue._slab_callback[tail]),
-        )
+def _queue_structure(queue: Any) -> tuple:
+    """Content-canonical view of the pending event set.
+
+    Entries are ``(time, priority, label, descriptor)`` sorted by
+    content: the insertion counter (or lineage stamp) and the heap's
+    physical layout are representation details, and cancelled handles
+    are excluded outright — the lazy ``_drop_cancelled`` sweep pops
+    them at representation-dependent moments and they can never affect
+    future behavior.  This is what makes a merged sharded queue digest
+    equal to the single-process one.
+    """
+    entries = []
+    for entry in queue._heap:
+        time, priority, _key, tail = entry
+        if isinstance(tail, int):  # transient slab slot — never cancellable
+            label = queue._slab_label[tail]
+            descriptor = callback_descriptor(queue._slab_callback[tail])
+        else:
+            if tail.cancelled:
+                continue
+            label = tail.label
+            descriptor = callback_descriptor(tail.callback)
+        entries.append((time, priority, label, descriptor))
+    entries.sort(key=lambda e: (e[0], e[1], canonical_bytes((e[2], e[3]))))
+    return tuple(entries)
+
+
+def _rng_structure(random: Any) -> tuple:
     return (
-        time,
-        priority,
-        seq,
-        tail.label,
-        tail.cancelled,
-        callback_descriptor(tail.callback),
+        random.seed,
+        {
+            name: random._streams[name].bit_generator.state
+            for name in sorted(random._streams)
+        },
     )
 
 
-def _digest_simulator(sim: Any) -> dict[str, str]:
-    import copy
+def _trace_structure(trace: Any) -> tuple:
+    return (
+        dict(trace.counts),
+        len(trace.records),
+        {
+            kind: tuple(
+                (s.deliveries, callback_descriptor(s.callback)) for s in subs
+            )
+            for kind, subs in trace._subscribers.items()
+        },
+    )
 
-    counter_value = next(copy.copy(sim.queue._counter))
-    comps = {
-        "clock": _hexdigest(("now", sim.now, "events", sim._events_processed)),
-        "queue": _hexdigest(
-            (
-                counter_value,
-                len(sim.queue),
-                tuple(
-                    _event_entry(sim.queue, e)
-                    for e in sorted(sim.queue._heap, key=lambda e: e[:3])
-                ),
-            )
-        ),
-        "rng": _hexdigest(
-            (
-                sim.random.seed,
-                {
-                    name: sim.random._streams[name].bit_generator.state
-                    for name in sorted(sim.random._streams)
-                },
-            )
-        ),
-        "trace": _hexdigest(
-            (
-                dict(sim.trace.counts),
-                len(sim.trace.records),
-                {
-                    kind: tuple(
-                        (s.deliveries, callback_descriptor(s.callback)) for s in subs
-                    )
-                    for kind, subs in sim.trace._subscribers.items()
-                },
-            )
-        ),
-        "metrics": _hexdigest((sim.metrics.enabled, tuple(sim.metrics.rows()))),
-        "spans": _hexdigest(sim.spans._next_id),
+
+def _simulator_structures(sim: Any) -> dict[str, Any]:
+    """Canonical per-component structures of a bare simulator.
+
+    The structures (not their hashes) are what ``persist.merge``
+    combines across shards; digesting hashes each one.  The clock keeps
+    only ``now`` — the events-processed tally is an execution statistic
+    that shard merging cannot meaningfully reconcile entry-for-entry.
+    """
+    return {
+        "clock": ("now", sim.now),
+        "queue": _queue_structure(sim.queue),
+        "rng": _rng_structure(sim.random),
+        "trace": _trace_structure(sim.trace),
+        "metrics": (sim.metrics.enabled, tuple(sim.metrics.rows())),
+        "spans": sim.spans._next_id,
     }
-    return comps
+
+
+def _digest_simulator(sim: Any) -> dict[str, str]:
+    return {
+        name: _hexdigest(value)
+        for name, value in _simulator_structures(sim).items()
+    }
 
 
 def _digest_event_handle(event: Optional[Any]) -> Optional[tuple]:
@@ -308,67 +319,70 @@ def _describe_loss(model: Any) -> tuple:
     return (name, repr(model))
 
 
-def _digest_runtime(runtime: Any) -> dict[str, str]:
+def _runtime_structures(runtime: Any) -> dict[str, Any]:
+    """Canonical per-component structures of a full runtime.
+
+    The energy component keeps the per-node batteries and the ledger's
+    registry cells but not the ledger's running float totals: those are
+    order-of-addition sensitive sums a shard merge cannot reproduce
+    bit-for-bit, and they are derivable from the cells.
+    """
     radio = runtime.radio
     topology = radio.topology
     comps = {
-        "nodes": _hexdigest(
-            {node_id: _digest_node(node) for node_id, node in runtime.nodes.items()}
-        ),
-        "caches": _hexdigest(
+        "nodes": {
+            node_id: _digest_node(node) for node_id, node in runtime.nodes.items()
+        },
+        "caches": {
+            node_id: _digest_policy(node.store.policy)
+            for node_id, node in runtime.nodes.items()
+        },
+        "energy": (
             {
-                node_id: _digest_policy(node.store.policy)
-                for node_id, node in runtime.nodes.items()
-            }
+                node_id: (
+                    device.battery.capacity,
+                    device.battery.charge,
+                    device.battery.spent,
+                    device.failed,
+                )
+                for node_id, device in radio._nodes.items()
+            },
+            dict(radio.ledger._cells),
         ),
-        "energy": _hexdigest(
-            (
-                {
-                    node_id: (
-                        device.battery.capacity,
-                        device.battery.charge,
-                        device.battery.spent,
-                        device.failed,
-                    )
-                    for node_id, device in radio._nodes.items()
-                },
-                dict(radio.ledger._cells),
-                dict(radio.ledger._totals),
-            )
+        "radio": (
+            radio.latency,
+            radio.batch_fanout,
+            _describe_loss(radio.loss_model),
+            tuple(topology._positions),
+            tuple(topology._ranges),
+            dict(runtime.stats._sent_checkpoint),
         ),
-        "radio": _hexdigest(
-            (
-                radio.latency,
-                radio.batch_fanout,
-                _describe_loss(radio.loss_model),
-                tuple(topology._positions),
-                tuple(topology._ranges),
-                dict(runtime.stats._sent_checkpoint),
-            )
+        "maintenance": (
+            tuple(task.stopped for task in runtime.maintenance._tasks),
+            tuple(runtime.maintenance._round_costs),
+            runtime.maintenance._rounds,
+            runtime.maintenance._round_span is not None,
         ),
-        "maintenance": _hexdigest(
-            (
-                tuple(task.stopped for task in runtime.maintenance._tasks),
-                tuple(runtime.maintenance._round_costs),
-                runtime.maintenance._rounds,
-                runtime.maintenance._round_span is not None,
-            )
-        ),
-        "coordinator": _hexdigest(runtime.coordinator.epoch),
+        "coordinator": runtime.coordinator.epoch,
     }
     # Un-flushed observation batch (batched rounds only, mid-burst
     # checkpoints).  Added only when non-empty so a settled batched run
     # digests identically to a scalar run, which has no router at all.
     router = getattr(runtime, "observation_router", None)
     if router is not None and router.pending:
-        comps["observations"] = _hexdigest(
-            tuple(
-                (entry[0].node_id, entry[1], entry[2], entry[3])
-                for entry in router.pending
-                if entry[0] is not None
-            )
+        comps["observations"] = tuple(
+            (entry[0].node_id, entry[1], entry[2], entry[3])
+            for entry in router.pending
+            if entry[0] is not None
         )
     return comps
+
+
+def _digest_runtime(runtime: Any) -> dict[str, str]:
+    return {
+        name: _hexdigest(value)
+        for name, value in _runtime_structures(runtime).items()
+    }
 
 
 @dataclass(frozen=True)

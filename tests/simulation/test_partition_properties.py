@@ -1,0 +1,142 @@
+"""Property tests for the shard partitioner.
+
+:class:`~repro.simulation.partition.ShardPartition` is the contract
+the sharded engine's correctness rests on: if a node belonged to two
+shards it would fire twice, if a link escaped both the intra and
+boundary sets its deliveries would vanish, and a zero lookahead would
+let a shard outrun messages still in flight toward it.  Hypothesis
+generates random deployments and shard counts and checks each clause
+of that contract; a final mutation self-test deliberately breaks an
+assignment to prove the validator actually bites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.topology import uniform_random_topology
+from repro.simulation.partition import ShardPartition, grid_partition
+
+# Deployment generator: enough nodes for several shards, a range wide
+# enough that boundary links actually occur in most draws.
+deployments = st.tuples(
+    st.integers(min_value=4, max_value=60),  # n_nodes
+    st.integers(min_value=0, max_value=2**31 - 1),  # placement seed
+    st.floats(min_value=0.1, max_value=0.6),  # transmission range
+)
+
+
+def _topology(n_nodes, seed, radius):
+    return uniform_random_topology(n_nodes, radius, np.random.default_rng(seed))
+
+
+@given(deployments, st.integers(min_value=1, max_value=6))
+@settings(max_examples=60, deadline=None)
+def test_every_node_in_exactly_one_shard(deployment, n_shards):
+    n_nodes, seed, radius = deployment
+    n_shards = min(n_shards, n_nodes)
+    topology = _topology(n_nodes, seed, radius)
+    partition = grid_partition(topology, n_shards, lookahead=0.001)
+
+    assert set(partition.assignment) == set(topology.node_ids)
+    seen: set[int] = set()
+    for shard in range(partition.n_shards):
+        members = partition.shard_members(shard)
+        assert not seen.intersection(members)
+        seen.update(members)
+    assert seen == set(topology.node_ids)
+    # Balanced by construction: sizes differ by at most one.
+    sizes = [len(s) for s in partition.shards]
+    assert max(sizes) - min(sizes) <= 1
+
+
+@given(deployments, st.integers(min_value=1, max_value=6))
+@settings(max_examples=60, deadline=None)
+def test_links_tile_into_intra_and_boundary(deployment, n_shards):
+    n_nodes, seed, radius = deployment
+    n_shards = min(n_shards, n_nodes)
+    topology = _topology(n_nodes, seed, radius)
+    partition = grid_partition(topology, n_shards, lookahead=0.001)
+
+    intra = set(partition.intra_links)
+    boundary = set(partition.boundary_links)
+    assert not intra & boundary
+    assert intra | boundary == set(topology.directed_links())
+    owner = partition.assignment
+    assert all(owner[a] == owner[b] for a, b in intra)
+    assert all(owner[a] != owner[b] for a, b in boundary)
+
+
+@given(deployments, st.integers(min_value=2, max_value=6))
+@settings(max_examples=60, deadline=None)
+def test_neighbor_bookkeeping_is_symmetric(deployment, n_shards):
+    n_nodes, seed, radius = deployment
+    n_shards = min(n_shards, n_nodes)
+    topology = _topology(n_nodes, seed, radius)
+    partition = grid_partition(topology, n_shards, lookahead=0.001)
+
+    for shard in range(partition.n_shards):
+        for other in partition.neighbor_shards(shard):
+            assert other != shard
+            assert shard in partition.neighbor_shards(other)
+
+
+@given(deployments, st.integers(min_value=2, max_value=6))
+@settings(max_examples=60, deadline=None)
+def test_lookahead_must_be_positive_when_shards_talk(deployment, n_shards):
+    n_nodes, seed, radius = deployment
+    n_shards = min(n_shards, n_nodes)
+    topology = _topology(n_nodes, seed, radius)
+    partition = grid_partition(topology, n_shards, lookahead=0.5)
+
+    if partition.boundary_links:
+        # A zero window would let a shard fire past in-flight traffic.
+        with pytest.raises(ValueError, match="lookahead"):
+            ShardPartition(
+                n_shards=n_shards,
+                assignment=partition.assignment,
+                topology=topology,
+                lookahead=0.0,
+            )
+    else:
+        # Fully disconnected shards never wait on each other.
+        rebuilt = ShardPartition(
+            n_shards=n_shards,
+            assignment=partition.assignment,
+            topology=topology,
+            lookahead=0.0,
+        )
+        assert rebuilt.lookahead == 0.0
+
+
+def test_validator_catches_broken_assignments():
+    """Mutation self-test: each way of corrupting an assignment is caught."""
+    topology = _topology(12, seed=3, radius=0.4)
+    good = grid_partition(topology, 3, lookahead=0.001).assignment
+
+    unassigned = dict(good)
+    del unassigned[next(iter(good))]
+    with pytest.raises(ValueError, match="without a shard"):
+        ShardPartition(3, unassigned, topology, 0.001)
+
+    phantom = dict(good)
+    phantom[999] = 0
+    with pytest.raises(ValueError, match="outside the topology"):
+        ShardPartition(3, phantom, topology, 0.001)
+
+    out_of_range = dict(good)
+    out_of_range[next(iter(good))] = 7
+    with pytest.raises(ValueError, match="out of range"):
+        ShardPartition(3, out_of_range, topology, 0.001)
+
+    with pytest.raises(ValueError, match="positive shard count"):
+        ShardPartition(0, good, topology, 0.001)
+
+    with pytest.raises(ValueError, match="positive shard count"):
+        grid_partition(topology, 0, lookahead=0.001)
+
+    with pytest.raises(ValueError, match="cannot split"):
+        grid_partition(topology, 13, lookahead=0.001)

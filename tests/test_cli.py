@@ -43,12 +43,39 @@ class TestParser:
         assert not args.no_cache
         assert args.max_cost is None
 
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "--shards", "4", "-n", "20000", "--mode", "inline"]
+        )
+        assert args.shards == 4
+        assert args.nodes == 20000
+        assert args.mode == "inline"
+        assert args.range is None  # auto degree-12 radius
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.shards == 4
+        assert args.nodes == 2000
+        assert args.mode == "process"
+        assert not args.digest
+
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
 
 class TestCommands:
+    def test_run_sharded(self, capsys):
+        code = main(
+            ["run", "-n", "40", "--classes", "2", "--shards", "2",
+             "--duration", "4", "--digest"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shards : 2 x process" in out
+        assert "messages sent" in out
+        assert "digest :" in out
+
     def test_demo_runs(self, capsys):
         code = main(["demo", "--nodes", "20", "--classes", "2", "--seed", "1"])
         assert code == 0
