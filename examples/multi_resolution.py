@@ -10,9 +10,13 @@ WITH ERROR t`` clauses to the right resolution.
 Run with::
 
     python examples/multi_resolution.py
+
+``REPRO_EXAMPLE_NODES`` shrinks the deployment for smoke runs.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
@@ -29,10 +33,11 @@ from repro.query import parse_query
 
 def main() -> None:
     rng = np.random.default_rng(31)
+    n_nodes = int(os.environ.get("REPRO_EXAMPLE_NODES", "100"))
     dataset, __ = generate_random_walk(
-        RandomWalkConfig(n_nodes=100, n_classes=10), rng
+        RandomWalkConfig(n_nodes=n_nodes, n_classes=min(10, n_nodes)), rng
     )
-    topology = uniform_random_topology(100, transmission_range=1.4, rng=rng)
+    topology = uniform_random_topology(n_nodes, transmission_range=1.4, rng=rng)
     network = SnapshotRuntime(topology, dataset, ProtocolConfig(threshold=1.0))
     network.train(duration=10)
     network.advance_to(100)

@@ -11,10 +11,14 @@ Run with::
 
     python examples/network_lifetime.py        (a few minutes)
     python examples/network_lifetime.py quick  (a shorter horizon)
+
+``REPRO_EXAMPLE_QUERIES`` overrides the query count outright (the test
+suite's smoke runs set it to a few hundred).
 """
 
 from __future__ import annotations
 
+import os
 import sys
 
 from repro.experiments import figure10_lifetime
@@ -28,6 +32,9 @@ def render_bar(value: float, width: int = 40) -> str:
 def main() -> None:
     quick = len(sys.argv) > 1 and sys.argv[1] == "quick"
     n_queries = 3_000 if quick else 8_000
+    n_queries = int(os.environ.get("REPRO_EXAMPLE_QUERIES", n_queries))
+    # the bucketed rendering below needs at least one query per bucket
+    n_queries = max(n_queries, 12)
 
     print(f"running {n_queries} random spatial queries against two networks...")
     result = figure10_lifetime(n_queries=n_queries, seed=7)

@@ -11,9 +11,14 @@ Walks the paper's full pipeline on the §6.1 synthetic workload:
 Run with::
 
     python examples/quickstart.py
+
+``REPRO_EXAMPLE_NODES`` shrinks the deployment (the test suite's smoke
+runs use it); the default reproduces the paper's 100-node setup.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
@@ -29,12 +34,13 @@ from repro.query import QueryExecutor, parse_query
 
 def main() -> None:
     rng = np.random.default_rng(2005)
+    n_nodes = int(os.environ.get("REPRO_EXAMPLE_NODES", "100"))
 
-    # 1. deployment + workload: 100 nodes, 4 hidden correlation classes
+    # 1. deployment + workload: 4 hidden correlation classes (§6.1)
     dataset, classes = generate_random_walk(
-        RandomWalkConfig(n_nodes=100, n_classes=4), rng
+        RandomWalkConfig(n_nodes=n_nodes, n_classes=4), rng
     )
-    topology = uniform_random_topology(100, transmission_range=0.7, rng=rng)
+    topology = uniform_random_topology(n_nodes, transmission_range=0.7, rng=rng)
     network = SnapshotRuntime(topology, dataset, ProtocolConfig(threshold=1.0))
 
     # 2. warm-up: a 10-unit query selecting every node's value lets the

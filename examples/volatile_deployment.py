@@ -12,9 +12,13 @@ around every disruption; the application code never changes.
 Run with::
 
     python examples/volatile_deployment.py
+
+``REPRO_EXAMPLE_NODES`` shrinks the deployment for smoke runs.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
@@ -32,7 +36,7 @@ from repro.query import ContinuousQuery, QueryExecutor, QueryPlanner, parse_quer
 
 def main() -> None:
     rng = np.random.default_rng(99)
-    n_nodes = 60
+    n_nodes = int(os.environ.get("REPRO_EXAMPLE_NODES", "60"))
     dataset, __ = generate_random_walk(
         RandomWalkConfig(n_nodes=n_nodes, n_classes=3, length=700), rng
     )
@@ -72,8 +76,9 @@ def main() -> None:
 
     # mid-query sabotage: kill five random nodes (maybe representatives)
     def sabotage() -> None:
+        alive = network.alive_ids()
         victims = network.simulator.random.stream("chaos").choice(
-            network.alive_ids(), size=5, replace=False
+            alive, size=min(5, len(alive)), replace=False
         )
         for victim in victims:
             if victim != 0:

@@ -11,10 +11,13 @@ threshold (Figures 11 and 12).
 Run with::
 
     python examples/weather_monitoring.py
+
+``REPRO_EXAMPLE_NODES`` shrinks the deployment for smoke runs.
 """
 
 from __future__ import annotations
 
+import os
 import statistics
 
 import numpy as np
@@ -32,11 +35,12 @@ from repro.query import Aggregate, Query, QueryExecutor, Rect
 
 def build_network(threshold: float, seed: int = 11) -> SnapshotRuntime:
     rng = np.random.default_rng(seed)
+    n_nodes = int(os.environ.get("REPRO_EXAMPLE_NODES", "100"))
     # As in §6.3, the election runs after the last (100th) measurement,
     # so the estimates are evaluated against the values the
     # representability test saw.
-    dataset, __ = generate_weather(WeatherConfig(n_series=100, length=100), rng)
-    topology = uniform_random_topology(100, transmission_range=1.5, rng=rng)
+    dataset, __ = generate_weather(WeatherConfig(n_series=n_nodes, length=100), rng)
+    topology = uniform_random_topology(n_nodes, transmission_range=1.5, rng=rng)
     network = SnapshotRuntime(
         topology, dataset, ProtocolConfig(threshold=threshold), seed=seed
     )

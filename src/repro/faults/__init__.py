@@ -9,6 +9,7 @@ the protocol's safety properties at quiescence, and
 :mod:`repro.faults.chaos` ties them into randomized stress schedules.
 """
 
+from repro.faults.background import BackgroundChaos
 from repro.faults.chaos import (
     ChaosConfig,
     ChaosResult,
@@ -28,6 +29,7 @@ from repro.faults.plan import (
 )
 
 __all__ = [
+    "BackgroundChaos",
     "BatteryDrain",
     "ChaosConfig",
     "ChaosResult",

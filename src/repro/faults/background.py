@@ -1,0 +1,153 @@
+"""A background chaos schedule for indefinitely running deployments.
+
+One-shot chaos runs (:mod:`repro.faults.chaos`) arm a single randomized
+:class:`~repro.faults.plan.FaultPlan` and check invariants at
+quiescence.  A continuously operating fleet instead wants a *rolling*
+supply of faults: :class:`BackgroundChaos` re-arms a freshly drawn plan
+every ``interval`` simulated time units, each plan seeded
+deterministically by ``(seed, plan index)`` so the fault trajectory is
+a pure function of the configuration — a fleet run and its scripted
+single-shot reference see the exact same crashes, bursts and
+partitions at the exact same times (the differential suite in
+``tests/fleet/`` relies on this).
+
+Permanent crashes are rewritten to transient outages by default
+(``transient_only=True``): over an unbounded horizon, every permanent
+crash is eventually fatal to the deployment, which is the wrong default
+for soak testing.  The whole object graph (task, injector, counters) is
+picklable and rides inside fleet checkpoints; ``digest_extra`` folds
+its progress into the whole-sim digest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.faults.chaos import ChaosConfig, random_fault_plan
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, NodeCrash
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.runtime import SnapshotRuntime
+
+__all__ = ["BackgroundChaos"]
+
+#: Seed-sequence tag separating background-chaos draws from every other
+#: consumer of the root seed (the one-shot chaos driver uses 0xFA11).
+_CHAOS_TAG = 0xBAC
+
+
+class BackgroundChaos:
+    """Re-arm a deterministic randomized fault plan every ``interval``.
+
+    Parameters
+    ----------
+    runtime:
+        The deployment to inject faults into.
+    config:
+        The draw distribution (n_faults, loss_burst, window, ...);
+        ``config.n_nodes`` must match the runtime's node count so every
+        drawn node id exists.
+    interval:
+        Sim-time between arming consecutive plans; defaults to the
+        config's fault window plus its recovery window, so plans do not
+        pile onto each other.
+    injector:
+        Reuse an existing armed injector (e.g. the one a one-shot plan
+        was applied through); a fresh one is interposed if omitted.
+    transient_only:
+        Rewrite permanent crashes (``down_for=None``) to transient
+        outages of ``1.5 * heartbeat_period``.
+    """
+
+    def __init__(
+        self,
+        runtime: "SnapshotRuntime",
+        config: ChaosConfig,
+        interval: Optional[float] = None,
+        injector: Optional[FaultInjector] = None,
+        transient_only: bool = True,
+    ) -> None:
+        if config.n_nodes != len(runtime.nodes):
+            raise ValueError(
+                f"chaos config draws over {config.n_nodes} nodes but the "
+                f"runtime has {len(runtime.nodes)}"
+            )
+        period = config.heartbeat_period
+        self.runtime = runtime
+        self.config = config
+        self.interval = (
+            interval
+            if interval is not None
+            else (config.fault_window_periods + config.recovery_periods) * period
+        )
+        if self.interval <= 0:
+            raise ValueError(f"interval must be positive, got {self.interval}")
+        self.injector = injector if injector is not None else FaultInjector(runtime)
+        self.transient_only = transient_only
+        self.plans_armed = 0
+        self._task = None
+
+    # ------------------------------------------------------------------
+
+    def draw_plan(self, index: int) -> FaultPlan:
+        """The deterministic plan armed at firing ``index``."""
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.config.seed, _CHAOS_TAG, index])
+        )
+        plan = random_fault_plan(self.config, rng)
+        if not self.transient_only:
+            return plan
+        down_for = 1.5 * self.config.heartbeat_period
+        events = tuple(
+            dataclasses.replace(event, down_for=down_for)
+            if isinstance(event, NodeCrash) and event.down_for is None
+            else event
+            for event in plan.events
+        )
+        return FaultPlan(events)
+
+    def _arm_next(self) -> None:
+        plan = self.draw_plan(self.plans_armed)
+        self.plans_armed += 1
+        self.injector.apply(plan)
+
+    # ------------------------------------------------------------------
+
+    def start(self, first_delay: Optional[float] = None) -> "BackgroundChaos":
+        """Arm the periodic schedule; first plan after ``first_delay``
+        (default: one full interval)."""
+        if self._task is not None and not self._task.stopped:
+            raise RuntimeError("background chaos already running")
+        self._task = self.runtime.simulator.every(
+            self.interval,
+            self._arm_next,
+            label="chaos:background",
+            first_delay=first_delay,
+        )
+        return self
+
+    def stop(self) -> None:
+        """Stop arming further plans (already-armed faults still fire)."""
+        if self._task is not None:
+            self._task.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._task is not None and not self._task.stopped
+
+    def digest_extra(self) -> dict:
+        """Background-chaos progress folded into the whole-sim digest."""
+        return {
+            "background_chaos": (
+                self.config,
+                self.interval,
+                self.transient_only,
+                self.plans_armed,
+                self.injector.crashes_applied,
+                self.injector.revivals_applied,
+            )
+        }

@@ -1,0 +1,112 @@
+"""File-based control plane for a fleet running in another process.
+
+``repro fleet start`` operates a deployment out of one *fleet
+directory*; sibling CLI invocations (``status`` / ``reconfigure`` /
+``stop``) talk to it through that directory alone — no sockets, no
+PID files:
+
+* ``status.json`` — the runner's latest status, rewritten atomically
+  (tmp + rename) after every slice, so a reader always sees a complete
+  document;
+* ``control/cmd-<sequence>.json`` — one file per submitted command,
+  named by a monotonically increasing sequence so the runner consumes
+  them in submission order and deletes each after applying it;
+* ``stream/`` and ``checkpoints/`` — the runner's JSONL ring and
+  checkpoint ring (owned by :class:`~repro.fleet.runner.FleetRunner`).
+
+Commands are plain dicts: ``{"command": "stop"}`` or
+``{"command": "reconfigure", "change": {...}}``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from pathlib import Path
+from typing import Any, Optional
+
+__all__ = [
+    "poll_commands",
+    "read_status",
+    "submit_command",
+    "write_status",
+]
+
+_CMD_RE = re.compile(r"^cmd-(?P<seq>\d+)\.json$")
+
+
+def _control_dir(directory: str | os.PathLike) -> Path:
+    return Path(directory) / "control"
+
+
+def status_path(directory: str | os.PathLike) -> Path:
+    return Path(directory) / "status.json"
+
+
+def write_status(directory: str | os.PathLike, status: dict[str, Any]) -> Path:
+    """Atomically replace ``status.json`` with ``status``."""
+    path = status_path(directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(status, sort_keys=True, indent=2), encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def read_status(directory: str | os.PathLike) -> Optional[dict[str, Any]]:
+    """The runner's last written status, or ``None`` if none exists yet."""
+    path = status_path(directory)
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return None
+    except json.JSONDecodeError:
+        return None  # racing the atomic replace on a non-POSIX filesystem
+
+
+def submit_command(directory: str | os.PathLike, command: dict[str, Any]) -> Path:
+    """Drop one command file for the running fleet to consume.
+
+    The sequence number is ``time_ns`` bumped past any existing file,
+    so concurrent submitters cannot collide and ordering follows
+    submission order.
+    """
+    control = _control_dir(directory)
+    control.mkdir(parents=True, exist_ok=True)
+    sequence = time.time_ns()
+    existing = _command_sequences(control)
+    if existing and sequence <= existing[-1]:
+        sequence = existing[-1] + 1
+    path = control / f"cmd-{sequence}.json"
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(command, sort_keys=True), encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def _command_sequences(control: Path) -> list[int]:
+    if not control.is_dir():
+        return []
+    sequences = []
+    for entry in control.iterdir():
+        match = _CMD_RE.match(entry.name)
+        if match:
+            sequences.append(int(match.group("seq")))
+    return sorted(sequences)
+
+
+def poll_commands(directory: str | os.PathLike) -> list[dict[str, Any]]:
+    """Consume (read + delete) all pending commands, in sequence order."""
+    control = _control_dir(directory)
+    commands = []
+    for sequence in _command_sequences(control):
+        path = control / f"cmd-{sequence}.json"
+        try:
+            command = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        path.unlink(missing_ok=True)
+        commands.append(command)
+    return commands

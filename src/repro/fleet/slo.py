@@ -1,0 +1,134 @@
+"""Windowed service-level objectives over a running deployment.
+
+The paper argues its headline claims as *sustained* properties: the
+snapshot keeps answering queries at high coverage over the network's
+lifetime (Figure 10) and maintenance stays within a small per-node
+message budget per round (Figure 15, Table 2).  The
+:class:`SLOMonitor` turns those into operational objectives a fleet
+evaluates at every slice boundary:
+
+* **coverage floor** — trailing-window mean of the probe-query
+  coverage samples must stay at or above ``coverage_floor``;
+* **messages/node/round ceiling** — the per-round mean of the
+  ``maintenance.msgs_per_node`` histogram, windowed over the rounds
+  completed since the previous evaluation;
+* **serving p99** — wall-clock p99 latency from an attached
+  :class:`~repro.serving.frontend.QueryFrontEnd`'s stats, when one is
+  serving traffic.
+
+Violations are machine-readable dicts (``record="slo_violation"``)
+accumulated on the monitor and returned per evaluation, so they can be
+streamed to the fleet's JSONL ring and asserted on by tests.  The
+monitor is pure picklable state and evaluation only *reads* the
+runtime, so an armed monitor never perturbs the trajectory — it rides
+inside fleet checkpoints like everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["SLOConfig", "SLOMonitor"]
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Objectives a fleet run is held to; ``None`` disables an objective."""
+
+    #: Minimum trailing-window mean probe coverage (Fig. 10 accounting).
+    coverage_floor: Optional[float] = None
+    #: Probe samples in the trailing coverage window.
+    coverage_window: int = 8
+    #: Ceiling on mean protocol messages per node per maintenance round
+    #: (Fig. 15 accounting), over rounds since the last evaluation.
+    max_messages_per_node_per_round: Optional[float] = None
+    #: Ceiling on the serving front-end's wall-clock p99 latency.
+    max_p99_seconds: Optional[float] = None
+
+
+class SLOMonitor:
+    """Evaluate an :class:`SLOConfig` at slice boundaries."""
+
+    def __init__(self, config: Optional[SLOConfig] = None) -> None:
+        self.config = config if config is not None else SLOConfig()
+        self.violations: list[dict[str, Any]] = []
+        self.evaluations = 0
+        # (count, sum) of maintenance.msgs_per_node at the previous
+        # evaluation, for windowed per-round deltas.
+        self._round_mark: tuple[float, float] = (0.0, 0.0)
+
+    # ------------------------------------------------------------------
+
+    def _violation(
+        self, objective: str, slice_index: int, sim_time: float,
+        value: float, limit: float,
+    ) -> dict[str, Any]:
+        return {
+            "record": "slo_violation",
+            "objective": objective,
+            "slice": slice_index,
+            "sim_time": sim_time,
+            "value": value,
+            "limit": limit,
+        }
+
+    def evaluate(
+        self,
+        runtime,
+        coverage_samples,
+        slice_index: int,
+        frontend_stats: Optional[dict] = None,
+    ) -> list[dict[str, Any]]:
+        """Check every enabled objective; returns (and records) violations."""
+        config = self.config
+        now = runtime.simulator.now
+        found: list[dict[str, Any]] = []
+
+        if config.coverage_floor is not None and coverage_samples:
+            window = list(coverage_samples)[-config.coverage_window:]
+            mean = sum(window) / len(window)
+            if mean < config.coverage_floor:
+                found.append(
+                    self._violation(
+                        "coverage_floor", slice_index, now,
+                        mean, config.coverage_floor,
+                    )
+                )
+
+        if (
+            config.max_messages_per_node_per_round is not None
+            and "maintenance.msgs_per_node" in runtime.metrics
+        ):
+            cell = runtime.metrics.metric("maintenance.msgs_per_node").cell()
+            prev_count, prev_sum = self._round_mark
+            delta_count = cell.count - prev_count
+            delta_sum = cell.sum - prev_sum
+            self._round_mark = (cell.count, cell.sum)
+            if delta_count > 0:
+                per_round = delta_sum / delta_count
+                if per_round > config.max_messages_per_node_per_round:
+                    found.append(
+                        self._violation(
+                            "messages_per_node_per_round", slice_index, now,
+                            per_round, config.max_messages_per_node_per_round,
+                        )
+                    )
+
+        if (
+            config.max_p99_seconds is not None
+            and frontend_stats is not None
+            and frontend_stats.get("served", 0) > 0
+        ):
+            p99 = frontend_stats["p99_seconds"]
+            if p99 > config.max_p99_seconds:
+                found.append(
+                    self._violation(
+                        "serving_p99", slice_index, now,
+                        p99, config.max_p99_seconds,
+                    )
+                )
+
+        self.evaluations += 1
+        self.violations.extend(found)
+        return found

@@ -687,10 +687,20 @@ class ModelAwareCacheFleet:
                     s = k
                     break
             if s is None:
-                raise ValueError(
-                    f"cache {c} already tracks {self.S} neighbors; "
-                    f"raise max_lines to admit neighbor {j}"
-                )
+                # The initial max_lines sizing bounds slots by the
+                # *static* topology's degree; mobility (or any topology
+                # swap) can push a cache past it.  The policy's pair
+                # budget still bounds live lines at capacity_pairs, so
+                # grow toward that and only fail once eviction itself
+                # must have gone wrong.
+                if self.S >= self.capacity_pairs:
+                    raise ValueError(
+                        f"cache {c} already tracks {self.S} neighbors at its "
+                        f"pair budget; cannot admit neighbor {j}"
+                    )
+                s = self.S
+                self._grow_lines(min(2 * self.S, self.capacity_pairs))
+                base = c * self.S
             self.slot[c][j] = s
             if self.idmap is not None:
                 self.idmap[c, j] = s
@@ -1472,6 +1482,31 @@ class ModelAwareCacheFleet:
     #: 1-D per-row columns grown together when a lane is added.
     _ROW_COLUMNS = ("ids", "n", "sx", "sy", "sxx", "sxy", "syy", "fa", "fb",
                     "fok", "ben", "bok", "pen", "pok", "esync", "head")
+
+    def _grow_lines(self, new_S: int) -> None:
+        """Re-lay every row column for ``new_S`` slots per cache.
+
+        Occupied slots keep their indices (rows move from stride ``S``
+        to stride ``new_S``), so the per-cache slot dicts and the dense
+        idmap stay valid; the appended slots are empty (``ids == -1``).
+        """
+        old_S, F, C = self.S, self.F, self.C
+        if new_S <= old_S:
+            return
+        for name in self._ROW_COLUMNS:
+            col = getattr(self, name)
+            if name == "ids":
+                grown = np.full(F * new_S, -1, dtype=col.dtype)
+            else:
+                grown = np.zeros(F * new_S, dtype=col.dtype)
+            grown.reshape(F, new_S)[:, :old_S] = col.reshape(F, old_S)
+            setattr(self, name, grown)
+        for name in ("rx", "ry"):
+            col = getattr(self, name)
+            grown = np.zeros((F * new_S, C), dtype=col.dtype)
+            grown.reshape(F, new_S, C)[:, :old_S] = col.reshape(F, old_S, C)
+            setattr(self, name, grown)
+        self.S = new_S
 
     def forget(self, c: int, j: int) -> None:
         """Drop all history cache ``c`` holds for neighbor ``j``.

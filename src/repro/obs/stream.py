@@ -1,0 +1,151 @@
+"""A pollable on-disk JSONL ring for long-running deployments.
+
+The fleet layer (``repro.fleet``) streams per-slice status records,
+metrics snapshots, span timelines and SLO violations into a
+:class:`JsonlRing`: an append-only JSONL file that rotates into a new
+segment every ``max_records`` records, keeping only the most recent
+``keep_segments`` segments on disk.  External observers tail the
+newest segment (or :meth:`read_all`) without any coordination — every
+record is one fsync-free ``write + flush`` of a complete JSON line, so
+a concurrent reader sees only whole records.
+
+The ring is an *output device*, deliberately kept out of the
+checkpointed object graph (open file handles do not pickle); a fleet
+restored from a checkpoint simply appends to the next segment index.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+from typing import Any, Iterator, Optional
+
+__all__ = ["JsonlRing"]
+
+_SEGMENT_RE = re.compile(r"^(?P<prefix>.+)-(?P<index>\d{6})\.jsonl$")
+
+
+class JsonlRing:
+    """Rotating JSONL segments under one directory.
+
+    Parameters
+    ----------
+    directory:
+        Where segments live; created if missing.
+    prefix:
+        Segment filename prefix (``<prefix>-000042.jsonl``).
+    max_records:
+        Records per segment before rotating to the next index.
+    keep_segments:
+        Segments retained on disk; older ones are deleted at rotation.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        prefix: str = "stream",
+        max_records: int = 4096,
+        keep_segments: int = 8,
+    ) -> None:
+        if max_records < 1:
+            raise ValueError(f"max_records must be >= 1, got {max_records}")
+        if keep_segments < 1:
+            raise ValueError(f"keep_segments must be >= 1, got {keep_segments}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.prefix = prefix
+        self.max_records = max_records
+        self.keep_segments = keep_segments
+        self.records_written = 0
+        # Resume past any existing segments rather than appending into
+        # one whose record count we no longer know.
+        existing = self._indices()
+        self._index = (existing[-1] + 1) if existing else 0
+        self._count = 0
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+
+    def append(self, record: dict[str, Any]) -> None:
+        """Append one record (a JSON-serializable dict) to the ring."""
+        if self._handle is None:
+            self._handle = open(self._segment_path(self._index), "a", encoding="utf-8")
+            # Prune only once the new segment exists on disk, so the
+            # retained count includes the active segment.
+            self._prune()
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        self._count += 1
+        self.records_written += 1
+        if self._count >= self.max_records:
+            self._rotate()
+
+    def _rotate(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._index += 1
+        self._count = 0
+
+    def _prune(self) -> None:
+        indices = self._indices()
+        for index in indices[: -self.keep_segments]:
+            self._segment_path(index).unlink(missing_ok=True)
+
+    def close(self) -> None:
+        """Flush and close the active segment (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlRing":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+
+    def _segment_path(self, index: int) -> Path:
+        return self.directory / f"{self.prefix}-{index:06d}.jsonl"
+
+    def _indices(self) -> list[int]:
+        indices = []
+        for path in self.directory.iterdir():
+            match = _SEGMENT_RE.match(path.name)
+            if match and match.group("prefix") == self.prefix:
+                indices.append(int(match.group("index")))
+        return sorted(indices)
+
+    def segment_paths(self) -> list[Path]:
+        """Paths of the retained segments, oldest first."""
+        return [self._segment_path(index) for index in self._indices()]
+
+    def iter_records(self) -> Iterator[dict[str, Any]]:
+        """Every retained record, oldest first (tolerates a torn tail)."""
+        for path in self.segment_paths():
+            try:
+                text = path.read_text(encoding="utf-8")
+            except OSError:
+                continue
+            for line in text.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # a reader racing the writer's final line
+
+    def read_all(self, kind: Optional[str] = None) -> list[dict[str, Any]]:
+        """All retained records, optionally filtered by ``record`` kind."""
+        records = list(self.iter_records())
+        if kind is None:
+            return records
+        return [record for record in records if record.get("record") == kind]

@@ -32,8 +32,10 @@ from repro.persist.merge import (
     merge_shard_states,
     merged_state_digest,
 )
+from repro.persist.ring import CheckpointRing
 
 __all__ = [
+    "CheckpointRing",
     "FORMAT_VERSION",
     "MAGIC",
     "CheckpointError",

@@ -1,0 +1,93 @@
+"""A rotating on-disk ring of checkpoints.
+
+Long-running deployments (``repro.fleet``) checkpoint on an interval;
+keeping every checkpoint would grow without bound, keeping only the
+last would lose the ability to rewind past a bad reconfiguration.  A
+:class:`CheckpointRing` keeps the most recent ``keep`` checkpoint
+files, named by a monotonically increasing sequence number, each
+written atomically by :func:`~repro.persist.checkpoint.save_checkpoint`
+(tmp + fsync + rename), so the newest complete file is always a valid
+restore point even if the process dies mid-save.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.persist.checkpoint import load_checkpoint, read_header, save_checkpoint
+
+__all__ = ["CheckpointRing"]
+
+_CKPT_RE = re.compile(r"^(?P<prefix>.+)-(?P<index>\d{6})\.ckpt$")
+
+
+class CheckpointRing:
+    """Keep the last ``keep`` checkpoints of an evolving object graph."""
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        prefix: str = "fleet",
+        keep: int = 4,
+    ) -> None:
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.prefix = prefix
+        self.keep = keep
+        existing = self._indices()
+        self.next_index = (existing[-1] + 1) if existing else 0
+
+    # ------------------------------------------------------------------
+
+    def _path(self, index: int) -> Path:
+        return self.directory / f"{self.prefix}-{index:06d}.ckpt"
+
+    def _indices(self) -> list[int]:
+        indices = []
+        for path in self.directory.iterdir():
+            match = _CKPT_RE.match(path.name)
+            if match and match.group("prefix") == self.prefix:
+                indices.append(int(match.group("index")))
+        return sorted(indices)
+
+    def paths(self) -> list[Path]:
+        """Retained checkpoint paths, oldest first."""
+        return [self._path(index) for index in self._indices()]
+
+    def latest(self) -> Optional[Path]:
+        """The newest checkpoint, or ``None`` when the ring is empty."""
+        indices = self._indices()
+        return self._path(indices[-1]) if indices else None
+
+    # ------------------------------------------------------------------
+
+    def save(self, obj: Any, meta: Optional[dict] = None) -> Path:
+        """Write the next checkpoint and prune beyond ``keep``; returns its path."""
+        path = self._path(self.next_index)
+        stamped = {"ring_index": self.next_index}
+        if meta:
+            stamped.update(meta)
+        save_checkpoint(obj, path, meta=stamped)
+        self.next_index += 1
+        for index in self._indices()[: -self.keep]:
+            self._path(index).unlink(missing_ok=True)
+        return path
+
+    def load_latest(self, verify: bool = True) -> Any:
+        """Restore the newest checkpoint (raises if the ring is empty)."""
+        path = self.latest()
+        if path is None:
+            raise FileNotFoundError(f"no checkpoints under {self.directory}")
+        return load_checkpoint(path, verify=verify)
+
+    def header(self, path: Optional[Path] = None) -> dict:
+        """Header of ``path`` (default: the newest checkpoint)."""
+        target = path if path is not None else self.latest()
+        if target is None:
+            raise FileNotFoundError(f"no checkpoints under {self.directory}")
+        return read_header(target)

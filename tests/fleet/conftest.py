@@ -1,0 +1,184 @@
+"""Shared machinery for the fleet soak/differential suite.
+
+The suite proves the fleet layer is *trajectory-neutral*: a deployment
+driven in bounded slices by :class:`~repro.fleet.FleetRunner` — with
+rotating checkpoints, JSONL streaming, a background chaos schedule and
+a mid-flight rolling reconfiguration applied as checkpoint → mutate →
+restore — must be field-identical (digests, trace records, report
+rows, coverage samples, SLO evaluations) to the equivalent scripted
+run that applies the same mutation directly to the live runtime.
+
+Everything is driven only by runtime-owned random streams, so the
+complete source of randomness rides inside fleet checkpoints; the
+background chaos schedule draws each plan from ``(seed, plan index)``
+and is therefore a pure function of the configuration.
+
+Heavy matrix cases carry the ``soak`` marker (deselected from tier-1
+by addopts; CI's ``fleet`` job runs them).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import ProtocolConfig
+from repro.core.runtime import SnapshotRuntime
+from repro.data.series import Dataset
+from repro.experiments.harness import make_cache_factory
+from repro.faults import ChaosConfig
+from repro.fleet import FleetState, SLOConfig
+from repro.network.links import GlobalLoss
+from repro.network.topology import Topology
+from repro.obs.report import RunReport
+from repro.persist import RoundDigestRecorder, state_digest
+
+N_NODES = 12
+PERIOD = 10.0
+SLICE = 6.0
+N_SLICES = 12
+RECONFIG_AT = 6
+
+
+def build_fleet_runtime(
+    seed: int, policy: str = "model-aware", loss: float = 0.0
+) -> SnapshotRuntime:
+    """A small all-in-range network with strongly correlated ramps.
+
+    Correlated data guarantees representability (the chaos-suite
+    construction), so structural churn comes from the background fault
+    schedule and the reconfigurations, not from modelling noise.
+    """
+    base = np.linspace(0.0, 30.0, 400)
+    dataset = Dataset(np.stack([base + 0.3 * i for i in range(N_NODES)]))
+    topology = Topology([(0.08 * i, 0.0) for i in range(N_NODES)], ranges=2.0)
+    config = ProtocolConfig(
+        threshold=5.0,
+        heartbeat_period=PERIOD,
+        rotation_probability=0.1,
+        member_expiry_periods=2.0,
+        # Shrink the election settle window (~121 -> ~13 time units) so
+        # the whole differential matrix stays fast, as tests/persist/.
+        rule4_retry=0.1,
+    )
+    runtime = SnapshotRuntime(
+        topology,
+        dataset,
+        config,
+        seed=seed,
+        loss_model=GlobalLoss(loss),
+        cache_factory=make_cache_factory(policy, 1024),
+        keep_trace_records=True,
+    )
+    runtime.round_digests = RoundDigestRecorder(runtime)
+    return runtime
+
+
+def chaos_config(seed: int) -> ChaosConfig:
+    """The background fault-draw distribution every fleet case arms."""
+    return ChaosConfig(
+        seed=seed,
+        n_nodes=N_NODES,
+        n_faults=4,
+        heartbeat_period=PERIOD,
+        threshold=5.0,
+    )
+
+
+def make_state(
+    seed: int,
+    policy: str = "model-aware",
+    loss: float = 0.0,
+    slo: SLOConfig | None = None,
+    chaos: bool = True,
+    probe_area: float | None = 0.4,
+) -> FleetState:
+    """Train, elect, start maintenance, arm background chaos; fleet-ready."""
+    runtime = build_fleet_runtime(seed, policy, loss)
+    runtime.train(duration=6.0)
+    runtime.run_election()
+    runtime.start_maintenance()
+    state = FleetState(runtime, slo=slo, probe_area=probe_area)
+    if chaos:
+        state.attach_chaos(chaos_config(seed), interval=30.0, first_delay=8.0)
+    return state
+
+
+def reconfig_change(policy: str) -> dict:
+    """The mid-flight change: swap to the *other* cache policy, nudge
+    the rotation strategy, and degrade the link — one mutation from
+    each supported family."""
+    other = "round-robin" if policy == "model-aware" else "model-aware"
+    return {
+        "cache_policy": other,
+        "cache_bytes": 1024,
+        "rotation_probability": 0.3,
+        "loss": 0.05,
+    }
+
+
+def outcome(state: FleetState) -> dict:
+    """Everything the differential comparison asserts on, in one dict."""
+    runtime = state.runtime
+    digest = state_digest(state)
+    report = RunReport.capture(
+        runtime, coverage=state.coverage, meta={"case": "fleet"}
+    )
+    return {
+        "whole": digest.whole,
+        "components": digest.components,
+        "trace_records": list(runtime.simulator.trace.records),
+        "trace_counts": dict(runtime.simulator.trace.counts),
+        "sent": dict(runtime.stats.sent),
+        "delivered": dict(runtime.stats.delivered),
+        "dropped": dict(runtime.stats.dropped),
+        "events_processed": runtime.simulator.events_processed,
+        "now": runtime.simulator.now,
+        "report_meta": report.meta,
+        "report_rows": report.rows,
+        "round_digests": list(runtime.round_digests.rounds),
+        "coverage": list(state.coverage.samples),
+        "violations": list(state.monitor.violations),
+        "reconfigurations": list(state.reconfigurations),
+        "slices_done": state.slices_done,
+        "chaos_plans": state.chaos.plans_armed if state.chaos else 0,
+    }
+
+
+def assert_outcomes_equal(actual: dict, reference: dict) -> None:
+    """Field-by-field comparison, so a divergence names what broke."""
+    assert actual["slices_done"] == reference["slices_done"]
+    assert actual["chaos_plans"] == reference["chaos_plans"]
+    assert actual["events_processed"] == reference["events_processed"]
+    assert actual["now"] == reference["now"]
+    assert actual["trace_counts"] == reference["trace_counts"]
+    assert actual["trace_records"] == reference["trace_records"]
+    assert actual["sent"] == reference["sent"]
+    assert actual["delivered"] == reference["delivered"]
+    assert actual["dropped"] == reference["dropped"]
+    assert actual["coverage"] == reference["coverage"]
+    assert actual["violations"] == reference["violations"]
+    assert actual["reconfigurations"] == reference["reconfigurations"]
+    assert actual["report_meta"] == reference["report_meta"]
+    assert actual["report_rows"] == reference["report_rows"]
+    assert actual["round_digests"] == reference["round_digests"]
+    assert actual["components"] == reference["components"]
+    assert actual["whole"] == reference["whole"]
+
+
+def run_reference(
+    seed: int,
+    policy: str,
+    loss: float,
+    change: dict | None = None,
+    reconfig_at: int = RECONFIG_AT,
+    n_slices: int = N_SLICES,
+    slo: SLOConfig | None = None,
+) -> dict:
+    """The scripted single-shot run: same slice schedule, no runner, no
+    disk — the reconfiguration is applied *directly* to the live state."""
+    state = make_state(seed, policy, loss, slo=slo)
+    for index in range(n_slices):
+        if change is not None and index == reconfig_at:
+            state.reconfigure(change)
+        state.step(SLICE)
+    return outcome(state)

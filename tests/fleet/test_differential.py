@@ -1,0 +1,175 @@
+"""The fleet differential proof: sliced operation is trajectory-neutral.
+
+Each case drives the same deployment twice:
+
+* **reference** — a scripted single-shot loop calling
+  ``FleetState.step`` directly, applying the mid-flight
+  reconfiguration *directly* to the live runtime at the boundary;
+* **fleet** — the full :class:`~repro.fleet.FleetRunner` machinery:
+  rotating checkpoint ring, JSONL streaming, and the reconfiguration
+  applied as **checkpoint → mutate → restore** through the ring.
+
+Both run under an armed background chaos schedule.  The outcomes must
+be field-identical: whole-sim and per-component digests, every trace
+record, message counters, RunReport rows, per-round digests, coverage
+samples, SLO evaluations and the reconfiguration log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import FleetRunner, FleetState
+from repro.persist import load_checkpoint, state_digest
+
+from tests.fleet.conftest import (
+    N_SLICES,
+    RECONFIG_AT,
+    SLICE,
+    assert_outcomes_equal,
+    build_fleet_runtime,
+    make_state,
+    outcome,
+    reconfig_change,
+    run_reference,
+)
+
+#: (policy, loss) cells; the first runs in tier-1, the rest are soak.
+MATRIX = [
+    ("model-aware", 0.0),
+    pytest.param("model-aware", 0.15, marks=pytest.mark.soak),
+    pytest.param("round-robin", 0.0, marks=pytest.mark.soak),
+    pytest.param("round-robin", 0.15, marks=pytest.mark.soak),
+]
+
+
+def run_fleet(seed: int, policy: str, loss: float, tmp_path, change=None) -> dict:
+    """The fleet-mode run the reference is compared against."""
+    state = make_state(seed, policy, loss)
+    runner = FleetRunner(
+        state, SLICE, tmp_path / "fleet", checkpoint_every=2, keep_checkpoints=3
+    )
+    runner.run(RECONFIG_AT)
+    if change is not None:
+        runner.request_reconfigure(change)
+    runner.run(N_SLICES - RECONFIG_AT)
+    return outcome(runner.state)
+
+
+@pytest.mark.parametrize("policy,loss", MATRIX)
+def test_fleet_matches_scripted_reference(policy, loss, tmp_path):
+    change = reconfig_change(policy)
+    reference = run_reference(7, policy, loss, change=change)
+    fleet = run_fleet(7, policy, loss, tmp_path, change=change)
+    assert_outcomes_equal(fleet, reference)
+    # Non-vacuity: the reconfiguration actually happened and chaos ran.
+    assert fleet["reconfigurations"] == [
+        {"slice": RECONFIG_AT, "change": change}
+    ]
+    assert fleet["chaos_plans"] >= 2
+    assert fleet["coverage"], "probes never produced a coverage sample"
+
+
+@pytest.mark.soak
+def test_fleet_resumes_from_the_ring(tmp_path):
+    """Kill the runner mid-run; a new runner restored from the newest
+    ring checkpoint finishes on the identical trajectory."""
+    policy, loss, seed = "model-aware", 0.15, 11
+    reference = run_reference(seed, policy, loss, change=None)
+
+    state = make_state(seed, policy, loss)
+    runner = FleetRunner(
+        state, SLICE, tmp_path / "fleet", checkpoint_every=2, keep_checkpoints=3
+    )
+    runner.run(8)  # slices 0..7; checkpoint landed at slice 8's boundary
+    del runner, state  # "crash"
+
+    restored = load_checkpoint(
+        sorted((tmp_path / "fleet" / "checkpoints").glob("*.ckpt"))[-1],
+        verify=True,
+    )
+    assert restored.slices_done == 8
+    resumed = FleetRunner(restored, SLICE, tmp_path / "fleet", checkpoint_every=2)
+    resumed.run(N_SLICES - restored.slices_done)
+    assert_outcomes_equal(outcome(resumed.state), reference)
+
+
+def test_irregular_slicing_equals_single_advance():
+    """Pure slicing (no probes, no monitor reads that consume anything)
+    at arbitrary irregular boundaries equals one uninterrupted advance."""
+    def prepare(seed):
+        runtime = build_fleet_runtime(seed)
+        runtime.train(duration=6.0)
+        runtime.run_election()
+        runtime.start_maintenance()
+        return runtime
+
+    single = prepare(3)
+    single.advance_to(90.0)
+
+    sliced = prepare(3)
+    for duration in (1.0, 8.5, 0.25, 13.0, 3.0, 20.0):
+        sliced.run_slice(duration)
+    sliced.advance_to(90.0)
+
+    assert state_digest(sliced).whole == state_digest(single).whole
+    assert sliced.simulator.events_processed == single.simulator.events_processed
+    assert (
+        sliced.simulator.trace.records == single.simulator.trace.records
+    )
+
+
+def test_reconfigure_roundtrip_is_identity(tmp_path):
+    """apply_change after a checkpoint/restore round trip equals
+    apply_change on the live object — the rolling-reconfig contract in
+    isolation (each mutation family separately)."""
+    from repro.fleet import apply_change
+    from repro.persist import save_checkpoint
+
+    for change in (
+        {"loss": 0.1},
+        {"rotation_probability": 0.4, "member_expiry_periods": 3.0},
+        {"cache_policy": "round-robin", "cache_bytes": 512},
+        {"snoop_probability": 0.5},
+    ):
+        direct = make_state(5, chaos=False)
+        direct.runtime.run_slice(12.0)
+        apply_change(direct, change)
+        direct.runtime.run_slice(24.0)
+
+        roundtrip = make_state(5, chaos=False)
+        roundtrip.runtime.run_slice(12.0)
+        path = tmp_path / "rt.ckpt"
+        save_checkpoint(roundtrip, path)
+        roundtrip = load_checkpoint(path, verify=True)
+        apply_change(roundtrip, change)
+        roundtrip.runtime.run_slice(24.0)
+
+        assert (
+            state_digest(roundtrip).whole == state_digest(direct).whole
+        ), f"round trip diverged for {change}"
+
+
+@pytest.mark.soak
+def test_streaming_and_checkpointing_are_read_only(tmp_path):
+    """A runner with every output device on (stream, trace streaming,
+    metrics snapshots, dense checkpoints) matches one with all off."""
+    bare_state = make_state(9)
+    bare = FleetRunner(bare_state, SLICE)
+    bare.run(N_SLICES)
+
+    observed_state = make_state(9)
+    observed = FleetRunner(
+        observed_state,
+        SLICE,
+        tmp_path / "fleet",
+        checkpoint_every=1,
+        stream_trace=True,
+    )
+    observed.run(N_SLICES)
+
+    assert_outcomes_equal(outcome(observed.state), outcome(bare.state))
+    # ... and the stream really was written.
+    records = observed.stream.read_all()
+    kinds = {record["record"] for record in records}
+    assert {"slice", "metrics", "trace"} <= kinds

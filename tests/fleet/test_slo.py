@@ -1,0 +1,149 @@
+"""SLO monitor behaviour and non-vacuity (mutation self-tests).
+
+The style of ``tests/faults``: every objective is shown to *fire* on a
+genuinely injected regression and to stay silent on the healthy run —
+a monitor that never fires proves nothing.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults import FaultInjector
+from repro.fleet import FleetRunner, SLOConfig, SLOMonitor
+
+from tests.fleet.conftest import SLICE, build_fleet_runtime, make_state
+
+
+def test_healthy_run_produces_no_violations():
+    state = make_state(
+        21,
+        slo=SLOConfig(
+            coverage_floor=0.3,
+            coverage_window=4,
+            max_messages_per_node_per_round=50.0,
+        ),
+        chaos=False,
+    )
+    runner = FleetRunner(state, SLICE)
+    runner.run(10)
+    assert state.monitor.violations == []
+    assert state.monitor.evaluations == 10
+    assert len(state.coverage) == 10
+
+
+def test_injected_coverage_regression_fires_the_floor():
+    """Crash three quarters of the network permanently mid-run: once
+    their cached memberships expire the probes lose those answers, the
+    windowed mean drops through the floor, and the monitor emits
+    machine-readable violation records.
+
+    Probes use ``probe_area=4.0`` — a side-2 square always covers the
+    whole node line, so every probe matches every node and a dead
+    majority must show up in coverage.  (Crashing only the current
+    representative proves nothing: maintenance re-elects and the alive
+    members keep answering directly — the network self-heals.)
+    """
+    slo = SLOConfig(coverage_floor=0.6, coverage_window=2)
+    state = make_state(21, slo=slo, chaos=False, probe_area=4.0)
+    runner = FleetRunner(state, SLICE)
+    runner.run(4)
+    assert state.monitor.violations == []
+
+    runtime = state.runtime
+    injector = FaultInjector(runtime)
+    for node_id in sorted(runtime.nodes)[:9]:
+        injector.crash(node_id)
+    runner.run(8)
+
+    violations = state.monitor.violations
+    assert violations, "injected regression never tripped the coverage floor"
+    assert all(v["record"] == "slo_violation" for v in violations)
+    assert all(v["objective"] == "coverage_floor" for v in violations)
+    first = violations[0]
+    assert first["value"] < first["limit"] == 0.6
+    assert first["slice"] >= 4
+    # The first post-crash probes still read 1.0: the representative
+    # answers for freshly-dead members until expiry — the paper's
+    # snapshot coverage story (Fig. 10) showing through the monitor.
+    assert 1.0 in state.coverage.samples[4:]
+    # Machine-readable: every field JSON-serializable.
+    json.dumps(violations)
+
+
+def test_unmutated_twin_of_the_regression_run_stays_clean():
+    """The same run without the injected crashes produces zero
+    violations — the firing above is attributable to the mutation."""
+    slo = SLOConfig(coverage_floor=0.6, coverage_window=2)
+    state = make_state(21, slo=slo, chaos=False, probe_area=4.0)
+    runner = FleetRunner(state, SLICE)
+    runner.run(12)
+    assert state.monitor.violations == []
+
+
+def test_message_ceiling_fires_on_an_absurd_bound():
+    """A ceiling below any real round's cost must fire on the first
+    evaluated round — proves the Fig. 15 accounting is actually read."""
+    slo = SLOConfig(max_messages_per_node_per_round=0.001)
+    state = make_state(23, slo=slo, chaos=False)
+    runner = FleetRunner(state, SLICE)
+    runner.run(10)
+    fired = [
+        v for v in state.monitor.violations
+        if v["objective"] == "messages_per_node_per_round"
+    ]
+    assert fired, "no maintenance round ever exceeded an absurd ceiling"
+    assert fired[0]["value"] > fired[0]["limit"]
+
+    # ... and a generous ceiling stays silent on the identical run.
+    state2 = make_state(23, slo=SLOConfig(max_messages_per_node_per_round=1e6),
+                        chaos=False)
+    FleetRunner(state2, SLICE).run(10)
+    assert state2.monitor.violations == []
+
+
+def test_message_ceiling_windows_per_evaluation():
+    """The delta accounting resets between evaluations: rounds already
+    judged are not re-judged (the mark advances)."""
+    runtime = build_fleet_runtime(25)
+    runtime.train(duration=6.0)
+    runtime.run_election()
+    runtime.start_maintenance()
+    monitor = SLOMonitor(SLOConfig(max_messages_per_node_per_round=1e6))
+    runtime.advance_to(runtime.now + 3 * 10.0)
+    monitor.evaluate(runtime, [], 0)
+    mark_after_first = monitor._round_mark
+    assert mark_after_first[0] > 0, "no rounds were accounted at all"
+    # No new rounds between evaluations -> the mark must not move.
+    monitor.evaluate(runtime, [], 1)
+    assert monitor._round_mark == mark_after_first
+
+
+def test_p99_objective_reads_frontend_stats():
+    runtime = build_fleet_runtime(27)
+    monitor = SLOMonitor(SLOConfig(max_p99_seconds=0.5))
+    # No stats / no served traffic: silent.
+    assert monitor.evaluate(runtime, [], 0) == []
+    assert monitor.evaluate(runtime, [], 1, frontend_stats={"served": 0}) == []
+    # Served traffic above the ceiling: fires.
+    fired = monitor.evaluate(
+        runtime, [], 2, frontend_stats={"served": 10, "p99_seconds": 0.9}
+    )
+    assert [v["objective"] for v in fired] == ["serving_p99"]
+    assert fired[0]["value"] == pytest.approx(0.9)
+    # Below the ceiling: silent again.
+    assert (
+        monitor.evaluate(
+            runtime, [], 3, frontend_stats={"served": 10, "p99_seconds": 0.1}
+        )
+        == []
+    )
+
+
+def test_disabled_objectives_never_fire():
+    monitor = SLOMonitor(SLOConfig())
+    runtime = build_fleet_runtime(29)
+    assert monitor.evaluate(runtime, [0.0, 0.0], 0) == []
+    assert monitor.violations == []

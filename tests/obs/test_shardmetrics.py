@@ -1,0 +1,115 @@
+"""Edge cases of registry export/merge (``obs.shardmetrics``).
+
+The shard-conformance suite exercises the happy path at scale; these
+tests pin the degenerate and error-path contracts directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.shardmetrics import export_metrics, merge_metrics
+
+
+def registry_with(counter=(), gauge=None, hist=()) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    counts = registry.counter("msgs", labels=("kind",))
+    for kind, amount in counter:
+        counts.inc_by((kind,), amount)
+    if gauge is not None:
+        registry.gauge("depth").set(gauge)
+    histogram = registry.histogram("sizes", (1.0, 10.0))
+    for value in hist:
+        histogram.observe(value)
+    return registry
+
+
+def test_merge_of_no_exports_is_rejected():
+    with pytest.raises(ValueError, match="at least one"):
+        merge_metrics([])
+
+
+def test_single_export_degenerate_merge_reproduces_rows():
+    registry = registry_with(
+        counter=[("data", 3), ("proto", 5)], gauge=2.0, hist=[0.5, 4.0, 40.0]
+    )
+    merged = merge_metrics([export_metrics(registry)])
+    assert list(merged.rows()) == list(registry.rows())
+    assert merged.enabled == registry.enabled
+
+
+def test_empty_registry_merges_to_empty():
+    merged = merge_metrics([export_metrics(MetricsRegistry())])
+    assert list(merged.rows()) == []
+
+
+def test_empty_shard_contributes_nothing():
+    """A shard that owns no nodes exports an empty registry; folding it
+    in must not perturb the populated shard's cells."""
+    populated = registry_with(counter=[("data", 3)], hist=[4.0])
+    merged = merge_metrics(
+        [export_metrics(populated), export_metrics(MetricsRegistry())]
+    )
+    assert list(merged.rows()) == list(populated.rows())
+
+
+def test_disjoint_label_sets_union():
+    left = registry_with(counter=[("data", 3)])
+    right = registry_with(counter=[("proto", 7)])
+    merged = merge_metrics([export_metrics(left), export_metrics(right)])
+    counts = merged.metric("msgs")
+    assert counts.value(("data",)) == 3
+    assert counts.value(("proto",)) == 7
+    assert counts.total() == 10
+
+
+def test_shared_counter_cells_sum():
+    left = registry_with(counter=[("data", 3)], hist=[0.5, 4.0])
+    right = registry_with(counter=[("data", 4)], hist=[40.0])
+    merged = merge_metrics([export_metrics(left), export_metrics(right)])
+    assert merged.metric("msgs").value(("data",)) == 7
+    cell = merged.metric("sizes").cell()
+    assert cell.count == 3
+    assert cell.sum == pytest.approx(44.5)
+    assert cell.counts == [1, 1, 1]
+
+
+def test_gauges_must_agree():
+    left = registry_with(gauge=2.0)
+    right = registry_with(gauge=3.0)
+    with pytest.raises(ValueError, match="diverges across"):
+        merge_metrics([export_metrics(left), export_metrics(right)])
+    # agreement is fine
+    merged = merge_metrics([export_metrics(left), export_metrics(left)])
+    assert merged.metric("depth").value() == 2.0
+
+
+def test_enablement_must_agree():
+    with pytest.raises(ValueError, match="enablement"):
+        merge_metrics(
+            [
+                export_metrics(MetricsRegistry(enabled=True)),
+                export_metrics(MetricsRegistry(enabled=False)),
+            ]
+        )
+
+
+def test_maintenance_costs_rebuild_replaces_cell_summation():
+    """With ``maintenance_costs`` given, the per-shard cells of the
+    Figure-15 histogram are ignored and the merged histogram holds
+    exactly the recomputed per-round costs."""
+    shard = MetricsRegistry()
+    histogram = shard.histogram("maintenance.msgs_per_node", (1.0, 10.0))
+    histogram.observe(999.0)  # a raw ingredient, not a finished cost
+    merged = merge_metrics([export_metrics(shard)], maintenance_costs=[2.0, 3.0])
+    cell = merged.metric("maintenance.msgs_per_node").cell()
+    assert cell.count == 2
+    assert cell.sum == pytest.approx(5.0)
+
+    # ... and when no shard ever defined the histogram, the costs are
+    # dropped rather than inventing a metric the reference lacks.
+    merged = merge_metrics(
+        [export_metrics(MetricsRegistry())], maintenance_costs=[2.0]
+    )
+    assert "maintenance.msgs_per_node" not in merged

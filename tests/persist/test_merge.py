@@ -1,0 +1,121 @@
+"""Edge cases of the shard-state merge (``persist.merge``).
+
+The conformance matrix proves multi-shard merges against real sharded
+runs; these tests pin the degenerate single-export contract — the
+property the module's own docstring stakes out — and the error paths.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+import numpy as np
+
+from repro.core.config import ProtocolConfig
+from repro.core.runtime import SnapshotRuntime
+from repro.data.random_walk import RandomWalkConfig, generate_random_walk
+from repro.network.topology import uniform_random_topology
+from repro.persist import state_digest
+from repro.persist.merge import (
+    export_shard_state,
+    merge_shard_states,
+    merged_state_digest,
+)
+
+
+def build_runtime(seed: int) -> SnapshotRuntime:
+    """As the differential suite's builder, minus the round-digest
+    recorder — the merge (rightly) refuses live trace subscribers."""
+    rng = np.random.default_rng(seed)
+    dataset, _ = generate_random_walk(
+        RandomWalkConfig(n_nodes=14, n_classes=3, length=200), rng
+    )
+    topology = uniform_random_topology(14, 1.5, rng)
+    return SnapshotRuntime(
+        topology,
+        dataset,
+        ProtocolConfig(threshold=1.0, heartbeat_period=25.0, rule4_retry=0.1),
+        seed=seed,
+        keep_trace_records=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def settled_runtime():
+    """One maintenance-ready runtime shared by the read-only cases."""
+    runtime = build_runtime(17)
+    runtime.train(duration=6.0)
+    runtime.advance_to(20.0)
+    runtime.run_election()
+    runtime.start_maintenance()
+    runtime.advance_to(120.0)
+    return runtime
+
+
+def test_merge_of_no_exports_is_rejected():
+    with pytest.raises(ValueError, match="at least one"):
+        merge_shard_states([])
+
+
+def test_single_export_merge_reproduces_own_digest(settled_runtime):
+    """The degenerate one-shard merge must hash to the runtime's own
+    ``state_digest`` — the invariant that keeps the exporter honest."""
+    reference = state_digest(settled_runtime)
+    merged = merged_state_digest([export_shard_state(settled_runtime)])
+    assert merged.components == reference.components
+    assert merged.whole == reference.whole
+
+
+def test_single_export_merge_is_stable_under_reexport(settled_runtime):
+    """Exporting is a pure read: doing it twice merges identically."""
+    first = merged_state_digest([export_shard_state(settled_runtime)])
+    second = merged_state_digest([export_shard_state(settled_runtime)])
+    assert first.whole == second.whole
+
+
+def test_merge_rejects_pending_observations(settled_runtime):
+    export = export_shard_state(settled_runtime)
+    export = copy.deepcopy(export)
+    export["router_pending"] = 3
+    with pytest.raises(ValueError, match="mid-burst"):
+        merge_shard_states([export])
+
+
+def test_merge_rejects_clock_disagreement(settled_runtime):
+    left = export_shard_state(settled_runtime)
+    right = copy.deepcopy(left)
+    right["now"] = left["now"] + 1.0
+    with pytest.raises(ValueError, match="clock"):
+        merge_shard_states([left, right])
+
+
+def test_merge_rejects_node_ownership_collision(settled_runtime):
+    """Two shards claiming the same node with different state is a
+    partition bug the union must catch, not paper over."""
+    left = export_shard_state(settled_runtime)
+    right = copy.deepcopy(left)
+    some_node = next(iter(right["nodes"]))
+    right["nodes"] = {some_node: ("tampered",)}
+    right["now"] = left["now"]
+    with pytest.raises(ValueError, match="node"):
+        merge_shard_states([left, right])
+
+
+def test_merge_rejects_epoch_disagreement(settled_runtime):
+    left = export_shard_state(settled_runtime)
+    right = copy.deepcopy(left)
+    right["coordinator_epoch"] = left["coordinator_epoch"] + 1
+    with pytest.raises(ValueError, match="epoch"):
+        merge_shard_states([left, right])
+
+
+def test_pre_election_runtime_merges_too():
+    """A runtime that has not elected (no maintenance, no rounds) is a
+    valid degenerate export — the merge handles the empty structures."""
+    runtime = build_runtime(19)
+    runtime.train(duration=6.0)
+    reference = state_digest(runtime)
+    merged = merged_state_digest([export_shard_state(runtime)])
+    assert merged.whole == reference.whole

@@ -85,6 +85,24 @@ class TestScheduling:
         with pytest.raises(ValueError):
             simulator.run_until(4.0)
 
+    def test_run_until_same_time_twice_is_a_noop(self, simulator):
+        """The fleet layer slices with back-to-back run_until calls; a
+        repeated bound must fire nothing, move nothing, reorder nothing."""
+        hits = []
+        simulator.schedule(1.0, lambda: hits.append("in"))
+        simulator.schedule(5.0, lambda: hits.append("boundary"))
+        simulator.schedule(9.0, lambda: hits.append("out"))
+        simulator.run_until(5.0)
+        assert hits == ["in", "boundary"]
+        processed = simulator.events_processed
+        fired = simulator.run_until(5.0)
+        assert fired == 0
+        assert simulator.now == 5.0
+        assert simulator.events_processed == processed
+        assert hits == ["in", "boundary"]
+        simulator.run()
+        assert hits == ["in", "boundary", "out"]
+
     def test_max_events_bound(self, simulator):
         for index in range(10):
             simulator.schedule(index + 1.0, lambda: None)
